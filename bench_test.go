@@ -1,0 +1,201 @@
+// Package repro's root-level benchmarks regenerate every experiment of
+// EXPERIMENTS.md (one benchmark per table/figure, T1..T13) plus
+// micro-benchmarks of the core algorithms. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the same code as cmd/experiments at a
+// reduced scale so a full -bench=. pass stays fast; the printed tables in
+// EXPERIMENTS.md come from the full-scale binary.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/a2a"
+	"repro/internal/binpack"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/simjoin"
+	"repro/internal/skewjoin"
+	"repro/internal/workload"
+	"repro/internal/x2y"
+)
+
+// benchParams keeps the per-iteration work of the experiment benchmarks
+// modest; the shapes match the full-scale tables.
+func benchParams() experiments.Params {
+	return experiments.Params{Seed: 42, Scale: 0.1, Workers: 16}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var exp experiments.Experiment
+	for _, e := range experiments.All() {
+		if e.ID == id {
+			exp = e
+			break
+		}
+	}
+	if exp.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp.Run(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per table/figure of EXPERIMENTS.md.
+
+func BenchmarkT1A2AEqualSized(b *testing.B)         { runExperiment(b, "T1") }
+func BenchmarkT2A2ADifferentSized(b *testing.B)     { runExperiment(b, "T2") }
+func BenchmarkT3CommunicationTradeoff(b *testing.B) { runExperiment(b, "T3") }
+func BenchmarkT4ParallelismTradeoff(b *testing.B)   { runExperiment(b, "T4") }
+func BenchmarkT5X2YSweep(b *testing.B)              { runExperiment(b, "T5") }
+func BenchmarkT6SkewJoin(b *testing.B)              { runExperiment(b, "T6") }
+func BenchmarkT7SimilarityJoin(b *testing.B)        { runExperiment(b, "T7") }
+func BenchmarkT8ApproximationRatio(b *testing.B)    { runExperiment(b, "T8") }
+func BenchmarkT9BigInputs(b *testing.B)             { runExperiment(b, "T9") }
+func BenchmarkT10BinPackAblation(b *testing.B)      { runExperiment(b, "T10") }
+func BenchmarkT11SpeedupCurves(b *testing.B)        { runExperiment(b, "T11") }
+func BenchmarkT12PruningAblation(b *testing.B)      { runExperiment(b, "T12") }
+func BenchmarkT13MediumInputs(b *testing.B)         { runExperiment(b, "T13") }
+
+// Micro-benchmarks of the building blocks.
+
+func BenchmarkA2ABinPackPair(b *testing.B) {
+	for _, m := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			set, err := workload.InputSet(workload.SizeSpec{Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.5}, m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := core.Size(128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a2a.BinPackPair(set, q, binpack.FirstFitDecreasing); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkA2AEqualSized(b *testing.B) {
+	for _, m := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			set, err := core.UniformInputSet(m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a2a.EqualSized(set, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkX2YGrid(b *testing.B) {
+	xs, err := workload.InputSet(workload.SizeSpec{Dist: workload.Uniform, Min: 1, Max: 30}, 500, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ys, err := workload.InputSet(workload.SizeSpec{Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.5}, 1500, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := x2y.Solve(xs, ys, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinPackFFD(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sizes, err := workload.Sizes(workload.SizeSpec{Dist: workload.Uniform, Min: 1, Max: 50}, n, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items := make([]binpack.Item, n)
+			for i, s := range sizes {
+				items[i] = binpack.Item{ID: i, Size: s}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := binpack.Pack(items, 100, binpack.FirstFitDecreasing); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSchemaValidateA2A(b *testing.B) {
+	set, err := workload.InputSet(workload.SizeSpec{Dist: workload.Uniform, Min: 1, Max: 30}, 500, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := a2a.Solve(set, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ms.ValidateA2A(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilarityJoinEndToEnd(b *testing.B) {
+	docs, err := workload.Documents(workload.CorpusSpec{
+		NumDocs: 100, VocabularySize: 200, MinTerms: 5, MaxTerms: 20, TermSkew: 1.2}, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := simjoin.Config{Capacity: 3000, Threshold: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := simjoin.Run(docs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkewJoinEndToEnd(b *testing.B) {
+	x, err := workload.GenerateRelation(workload.RelationSpec{
+		Name: "X", NumTuples: 2000, NumKeys: 50, Skew: 1.3, PayloadBytes: 10}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := workload.GenerateRelation(workload.RelationSpec{
+		Name: "Y", NumTuples: 2000, NumKeys: 50, Skew: 1.3, PayloadBytes: 10}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := skewjoin.Config{Capacity: 6000, CountOnly: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := skewjoin.Run(x, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

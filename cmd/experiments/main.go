@@ -1,0 +1,94 @@
+// Command experiments regenerates the reproduction's tables and figure
+// series (T1..T13, see EXPERIMENTS.md). By default it runs everything at full
+// scale and prints text tables; use -run to select experiments, -scale to
+// shrink the workloads, and -csv for machine-readable output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runList = fs.String("run", "all", "comma-separated experiment IDs (e.g. T1,T6) or 'all'")
+		scale   = fs.Float64("scale", 1.0, "workload scale factor")
+		seed    = fs.Int64("seed", 42, "workload seed")
+		workers = fs.Int("workers", 32, "worker count used for makespan estimates")
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+		list    = fs.Bool("list", false, "list the available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	selected, err := selectExperiments(all, *runList)
+	if err != nil {
+		return err
+	}
+	params := experiments.Params{Seed: *seed, Scale: *scale, Workers: *workers}
+	for _, e := range selected {
+		tbl, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", e.ID, e.Title)
+			if err := tbl.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			continue
+		}
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func selectExperiments(all []experiments.Experiment, runList string) ([]experiments.Experiment, error) {
+	if strings.EqualFold(strings.TrimSpace(runList), "all") {
+		return all, nil
+	}
+	byID := make(map[string]experiments.Experiment, len(all))
+	for _, e := range all {
+		byID[strings.ToUpper(e.ID)] = e
+	}
+	var out []experiments.Experiment
+	for _, id := range strings.Split(runList, ",") {
+		id = strings.ToUpper(strings.TrimSpace(id))
+		if id == "" {
+			continue
+		}
+		e, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return out, nil
+}

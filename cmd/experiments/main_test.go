@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all := experiments.All()
+	sel, err := selectExperiments(all, "all")
+	if err != nil || len(sel) != len(all) {
+		t.Errorf("selectExperiments(all) = %d experiments, %v", len(sel), err)
+	}
+	sel, err = selectExperiments(all, "t1, T6")
+	if err != nil || len(sel) != 2 || sel[0].ID != "T1" || sel[1].ID != "T6" {
+		t.Errorf("selectExperiments(t1,T6) = %v, %v", sel, err)
+	}
+	if _, err := selectExperiments(all, "T99"); err == nil {
+		t.Error("accepted unknown experiment ID")
+	}
+	if _, err := selectExperiments(all, " , "); err == nil {
+		t.Error("accepted empty selection")
+	}
+}
+
+func TestRunListAndSmallExperiment(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("-list: %v", err)
+	}
+	if err := run([]string{"-run", "T1", "-scale", "0.05"}); err != nil {
+		t.Errorf("-run T1: %v", err)
+	}
+	if err := run([]string{"-run", "T9", "-scale", "0.05", "-csv"}); err != nil {
+		t.Errorf("-run T9 -csv: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-run", "T99"}); err == nil {
+		t.Error("accepted unknown experiment")
+	}
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallCorpus(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-docs", "40", "-vocab", "60", "-q", "800", "-threshold", "0.4", "-show", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Similarity join") || !strings.Contains(out, "verified against the nested-loop reference: OK") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunCosine(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-docs", "25", "-q", "600", "-similarity", "cosine", "-threshold", "0.6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cosine") {
+		t.Errorf("output does not mention the similarity function:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-similarity", "hamming"}, &b); err == nil {
+		t.Error("accepted an unknown similarity function")
+	}
+	if err := run([]string{"-docs", "0"}, &b); err == nil {
+		t.Error("accepted zero documents")
+	}
+	// Capacity far below two documents -> infeasible schema.
+	if err := run([]string{"-docs", "10", "-q", "4"}, &b); err == nil {
+		t.Error("accepted an infeasible capacity")
+	}
+}

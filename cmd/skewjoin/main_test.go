@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWithHeavyHitters(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-tuples", "2000", "-keys", "30", "-skew", "1.4", "-q", "3000"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Skew join") || !strings.Contains(out, "output verified against the reference hash join: OK") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "Plain hash-join baseline") {
+		t.Errorf("baseline section missing:\n%s", out)
+	}
+}
+
+func TestRunUniformKeysWithoutBaseline(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-tuples", "500", "-keys", "20", "-skew", "0", "-q", "4000", "-baseline=false"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Plain hash-join baseline") {
+		t.Error("baseline section printed despite -baseline=false")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-tuples", "0"}, &b); err == nil {
+		t.Error("accepted zero tuples")
+	}
+	if err := run([]string{"-q", "0"}, &b); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	// A capacity below a single pair of tuples is infeasible for heavy keys.
+	if err := run([]string{"-tuples", "200", "-keys", "2", "-skew", "1.5", "-q", "20", "-payload", "30"}, &b); err == nil {
+		t.Error("accepted an infeasible capacity")
+	}
+}

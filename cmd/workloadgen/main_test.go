@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSizes(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-kind", "sizes", "-n", "10", "-dist", "uniform", "-min", "2", "-max", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines, want header + 10 rows", len(lines))
+	}
+	if lines[0] != "id,size" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunDocuments(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-kind", "documents", "-n", "5", "-vocab", "50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want header + 5 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Errorf("first document row = %q", lines[1])
+	}
+}
+
+func TestRunRelation(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-kind", "relation", "-n", "20", "-keys", "4", "-skew", "1.2", "-name", "Y"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 21 {
+		t.Fatalf("got %d lines, want header + 20 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "Y,k") {
+		t.Errorf("first tuple row = %q", lines[1])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-kind", "sizes", "-n", "50", "-dist", "zipf", "-seed", "7"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-kind", "nope"}, &b); err == nil {
+		t.Error("accepted unknown kind")
+	}
+	if err := run([]string{"-kind", "sizes", "-dist", "weird"}, &b); err == nil {
+		t.Error("accepted unknown distribution")
+	}
+	if err := run([]string{"-kind", "sizes", "-n", "0"}, &b); err == nil {
+		t.Error("accepted n=0")
+	}
+	if err := run([]string{"-kind", "documents", "-n", "0"}, &b); err == nil {
+		t.Error("accepted zero documents")
+	}
+	if err := run([]string{"-kind", "relation", "-keys", "0"}, &b); err == nil {
+		t.Error("accepted zero keys")
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, name := range []string{"constant", "uniform", "zipf", "exponential", "bimodal"} {
+		if _, err := parseDistribution(name); err != nil {
+			t.Errorf("parseDistribution(%q) = %v", name, err)
+		}
+	}
+	if _, err := parseDistribution("other"); err == nil {
+		t.Error("accepted unknown distribution")
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: build an A2A mapping schema for a handful of different-sized
+// inputs, validate it, and print its cost — the smallest possible use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+)
+
+func main() {
+	// Six inputs (say, six files to compare pairwise) with sizes in MB, and
+	// reducers that can hold 10 MB each.
+	sizes := []core.Size{3, 3, 2, 2, 4, 1}
+	q := core.Size(10)
+
+	set, err := core.NewInputSet(sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema, err := a2a.Solve(set, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := schema.ValidateA2A(set); err != nil {
+		log.Fatal(err)
+	}
+
+	cost := core.SchemaCost(schema, set.TotalSize())
+	bounds := a2a.LowerBounds(set, q)
+	fmt.Printf("algorithm:        %s\n", schema.Algorithm)
+	fmt.Printf("reducers:         %d (lower bound %d)\n", cost.Reducers, bounds.Reducers)
+	fmt.Printf("communication:    %d size units (lower bound %d)\n", cost.Communication, bounds.Communication)
+	fmt.Printf("replication rate: %.2f\n", cost.ReplicationRate)
+	for i, r := range schema.Reducers {
+		fmt.Printf("reducer %d (load %d/%d): inputs %v\n", i, r.Load, q, r.Inputs)
+	}
+}

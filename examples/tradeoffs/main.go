@@ -1,0 +1,45 @@
+// Tradeoffs: sweep the reducer capacity q for one A2A instance and print the
+// three tradeoff curves the paper describes — capacity vs number of reducers,
+// capacity vs communication cost, and capacity vs parallelism (max reducer
+// load / makespan on a fixed worker pool).
+package main
+
+import (
+	"log"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		m       = 800
+		workers = 16
+	)
+	set, err := workload.InputSet(workload.SizeSpec{
+		Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.5}, m, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := report.NewTable(
+		"Tradeoffs: reducer capacity q vs reducers, communication, and parallelism",
+		"q", "reducers", "communication", "replication", "max_load", "makespan(16 workers)")
+	for _, q := range []core.Size{64, 96, 128, 192, 256, 384, 512, 768} {
+		schema, err := a2a.Solve(set, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost := core.CostWithWorkers(schema, set.TotalSize(), workers)
+		tbl.AddRow(q, cost.Reducers, cost.Communication, cost.ReplicationRate, cost.MaxLoad, cost.Makespan)
+	}
+	log.SetFlags(0)
+	log.Print("\n" + tbl.String())
+	log.Print("Reading the table: as q grows the number of reducers and the total communication\n" +
+		"fall (tradeoffs i and iii), while each reduce task gets bigger (max load = q) and the\n" +
+		"number of tasks — the maximum usable degree of parallelism — collapses (tradeoff ii).\n" +
+		"On this fixed 16-worker pool the makespan still falls because the total shuffled data\n" +
+		"shrinks; the parallelism price only shows once the task count drops near the pool size.")
+}

@@ -1,0 +1,72 @@
+package a2a
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+// ErrHasBigInputs is returned by BinPackPair when some input is larger than
+// q/2; such instances must be handled by BigSmallSplit (or Solve, which
+// dispatches automatically).
+var ErrHasBigInputs = errors.New("a2a: instance has inputs larger than q/2; use BigSmallSplit")
+
+// BinPackPair is the paper's bin-packing-based approximation for
+// different-sized inputs that are all at most q/2. The inputs are packed into
+// bins of capacity floor(q/2) using the given bin-packing policy; each pair
+// of bins is then assigned to one reducer. Every reducer holds two bins of
+// load at most q/2 each, so it respects the capacity; every pair of inputs is
+// assigned together either because the two inputs share a bin (and the bin
+// appears in some reducer) or in the reducer of their two bins.
+//
+// If the packing uses b bins the schema uses b(b-1)/2 reducers (one reducer
+// when b == 1).
+func BinPackPair(set *core.InputSet, q core.Size, policy binpack.Policy) (*core.MappingSchema, error) {
+	algorithm := "a2a/bin-pack-pair/" + policy.String()
+	if set.Len() == 0 {
+		return emptySchema(q, algorithm), nil
+	}
+	if err := CheckFeasible(set, q); err != nil {
+		return nil, err
+	}
+	if set.Len() == 1 {
+		return emptySchema(q, algorithm), nil
+	}
+	half := q / 2
+	if set.MaxSize() > half {
+		return nil, fmt.Errorf("%w: max input size %d > q/2 = %d", ErrHasBigInputs, set.MaxSize(), half)
+	}
+	packing, err := binpack.Pack(binpack.ItemsFromInputSet(set), half, policy)
+	if err != nil {
+		return nil, fmt.Errorf("a2a: packing inputs into q/2 bins: %w", err)
+	}
+	return pairBins(set, q, algorithm, packing.Bins), nil
+}
+
+// pairBins assembles the schema that assigns every pair of the given bins to
+// one reducer (or a single reducer if there is only one bin).
+func pairBins(set *core.InputSet, q core.Size, algorithm string, bins []binpack.Bin) *core.MappingSchema {
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q, Algorithm: algorithm}
+	if len(bins) == 1 {
+		ms.AddReducerA2A(set, bins[0].Items)
+		return ms
+	}
+	for a := 0; a < len(bins); a++ {
+		for b := a + 1; b < len(bins); b++ {
+			ids := append(append([]int(nil), bins[a].Items...), bins[b].Items...)
+			ms.AddReducerA2A(set, ids)
+		}
+	}
+	return ms
+}
+
+// BinPackPairReducerCount predicts the number of reducers BinPackPair will
+// use given the number of bins produced by the packing step.
+func BinPackPairReducerCount(bins int) int {
+	if bins <= 1 {
+		return bins
+	}
+	return bins * (bins - 1) / 2
+}

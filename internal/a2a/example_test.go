@@ -1,0 +1,41 @@
+package a2a_test
+
+import (
+	"fmt"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+)
+
+// Solve an A2A instance with different-sized inputs and report how close the
+// schema is to the lower bound.
+func ExampleSolve() {
+	set, _ := core.NewInputSet([]core.Size{3, 3, 2, 2, 4, 1})
+	q := core.Size(10)
+	schema, err := a2a.Solve(set, q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := schema.ValidateA2A(set); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	cost := core.SchemaCost(schema, set.TotalSize())
+	bounds := a2a.LowerBounds(set, q)
+	fmt.Printf("reducers=%d (lower bound %d) communication=%d\n",
+		cost.Reducers, bounds.Reducers, cost.Communication)
+	// Output: reducers=3 (lower bound 3) communication=30
+}
+
+// The equal-sized special case: 8 unit inputs with room for 4 per reducer.
+func ExampleEqualSized() {
+	set, _ := core.UniformInputSet(8, 1)
+	schema, err := a2a.EqualSized(set, 4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("reducers:", schema.NumReducers())
+	// Output: reducers: 6
+}

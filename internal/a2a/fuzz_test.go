@@ -1,0 +1,85 @@
+package a2a
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzSolve feeds arbitrary byte strings interpreted as input sizes (and one
+// byte as the capacity scale) into the solver and checks the fundamental
+// invariant: whatever Solve returns either is a valid schema that respects
+// the lower bounds or is an error — never a silently invalid schema.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{3, 3, 2, 2, 4, 1}, byte(10))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, byte(4))
+	f.Add([]byte{30, 1, 2, 3}, byte(40))
+	f.Add([]byte{}, byte(1))
+	f.Fuzz(func(t *testing.T, raw []byte, qRaw byte) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		q := core.Size(qRaw)%200 + 2
+		sizes := make([]core.Size, 0, len(raw))
+		for _, b := range raw {
+			// Keep sizes positive; zero would be rejected at construction.
+			sizes = append(sizes, core.Size(b)%q+1)
+		}
+		if len(sizes) == 0 {
+			return
+		}
+		set, err := core.NewInputSet(sizes)
+		if err != nil {
+			t.Fatalf("unexpected input-set error: %v", err)
+		}
+		ms, err := Solve(set, q)
+		if err != nil {
+			// Infeasible instances are allowed to fail; nothing more to check.
+			return
+		}
+		if verr := ms.ValidateA2A(set); verr != nil {
+			t.Fatalf("Solve returned an invalid schema for sizes=%v q=%d: %v", sizes, q, verr)
+		}
+		lb := LowerBounds(set, q)
+		if set.Len() > 1 && ms.NumReducers() < lb.Reducers {
+			t.Fatalf("schema beats the lower bound: %d < %d", ms.NumReducers(), lb.Reducers)
+		}
+	})
+}
+
+// FuzzPruneRedundant checks that pruning any schema the solver or the greedy
+// baseline produces keeps it valid and never increases its cost.
+func FuzzPruneRedundant(f *testing.F) {
+	f.Add([]byte{2, 2, 2, 2, 5}, byte(10))
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, byte(12))
+	f.Fuzz(func(t *testing.T, raw []byte, qRaw byte) {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		q := core.Size(qRaw)%100 + 4
+		sizes := make([]core.Size, 0, len(raw))
+		for _, b := range raw {
+			sizes = append(sizes, core.Size(b)%(q/2)+1)
+		}
+		if len(sizes) == 0 {
+			return
+		}
+		set, err := core.NewInputSet(sizes)
+		if err != nil {
+			return
+		}
+		ms, err := Greedy(set, q)
+		if err != nil {
+			return
+		}
+		pruned := PruneRedundant(ms, set)
+		if verr := pruned.ValidateA2A(set); verr != nil {
+			t.Fatalf("pruned schema invalid for sizes=%v q=%d: %v", sizes, q, verr)
+		}
+		before := core.SchemaCost(ms, set.TotalSize())
+		after := core.SchemaCost(pruned, set.TotalSize())
+		if after.Communication > before.Communication || after.Reducers > before.Reducers {
+			t.Fatalf("pruning increased cost: %+v -> %+v", before, after)
+		}
+	})
+}

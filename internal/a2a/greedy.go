@@ -1,0 +1,149 @@
+package a2a
+
+import (
+	"repro/internal/core"
+)
+
+// Greedy is a coverage-greedy baseline for the A2A problem. It repeatedly
+// opens a reducer seeded with the lexicographically first uncovered pair and
+// then keeps adding the input that covers the most still-uncovered pairs with
+// the reducer's current members (among the inputs that still fit), until no
+// addition covers a new pair. It always produces a valid schema for feasible
+// instances but offers no approximation guarantee; the paper's algorithms are
+// compared against it.
+func Greedy(set *core.InputSet, q core.Size) (*core.MappingSchema, error) {
+	const algorithm = "a2a/greedy"
+	if set.Len() == 0 {
+		return emptySchema(q, algorithm), nil
+	}
+	if err := CheckFeasible(set, q); err != nil {
+		return nil, err
+	}
+	m := set.Len()
+	if m == 1 {
+		return emptySchema(q, algorithm), nil
+	}
+	cov := newCoverage(m)
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q, Algorithm: algorithm}
+
+	for cov.remaining > 0 {
+		i, j := cov.firstUncovered()
+		members := []int{i, j}
+		inReducer := make([]bool, m)
+		inReducer[i], inReducer[j] = true, true
+		load := set.Size(i) + set.Size(j)
+		cov.cover(i, j)
+
+		for {
+			best, bestGain := -1, 0
+			for x := 0; x < m; x++ {
+				if inReducer[x] || load+set.Size(x) > q {
+					continue
+				}
+				gain := 0
+				for _, y := range members {
+					if !cov.covered(x, y) {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					best, bestGain = x, gain
+				}
+			}
+			if best == -1 {
+				break
+			}
+			for _, y := range members {
+				cov.cover(best, y)
+			}
+			members = append(members, best)
+			inReducer[best] = true
+			load += set.Size(best)
+		}
+		ms.AddReducerA2A(set, members)
+	}
+	return ms, nil
+}
+
+// coverage tracks which unordered pairs of 0..m-1 are already covered.
+type coverage struct {
+	m         int
+	covered2  []bool
+	remaining int
+	// cursor speeds up firstUncovered scans: pairs before it are covered.
+	cursorI, cursorJ int
+}
+
+func newCoverage(m int) *coverage {
+	return &coverage{
+		m:         m,
+		covered2:  make([]bool, m*m),
+		remaining: m * (m - 1) / 2,
+		cursorI:   0,
+		cursorJ:   1,
+	}
+}
+
+func (c *coverage) covered(i, j int) bool {
+	if i == j {
+		return true
+	}
+	return c.covered2[i*c.m+j]
+}
+
+func (c *coverage) cover(i, j int) {
+	if i == j || c.covered2[i*c.m+j] {
+		return
+	}
+	c.covered2[i*c.m+j] = true
+	c.covered2[j*c.m+i] = true
+	c.remaining--
+}
+
+// uncover reverts a cover call. It is used by the exact solver's
+// backtracking; note that it does not adjust the scan cursor, so callers that
+// uncover must use firstUncoveredFrom rather than firstUncovered.
+func (c *coverage) uncover(i, j int) {
+	if i == j || !c.covered2[i*c.m+j] {
+		return
+	}
+	c.covered2[i*c.m+j] = false
+	c.covered2[j*c.m+i] = false
+	c.remaining++
+}
+
+// firstUncoveredFrom scans for the first uncovered pair at or after (i0, j0)
+// in lexicographic order, without using the cursor.
+func (c *coverage) firstUncoveredFrom(i0, j0 int) (int, int) {
+	i, j := i0, j0
+	for i < c.m {
+		for j < c.m {
+			if !c.covered2[i*c.m+j] {
+				return i, j
+			}
+			j++
+		}
+		i++
+		j = i + 1
+	}
+	return 0, 1
+}
+
+// firstUncovered returns the lexicographically first uncovered pair. It must
+// only be called when remaining > 0.
+func (c *coverage) firstUncovered() (int, int) {
+	i, j := c.cursorI, c.cursorJ
+	for i < c.m {
+		for j < c.m {
+			if !c.covered2[i*c.m+j] {
+				c.cursorI, c.cursorJ = i, j
+				return i, j
+			}
+			j++
+		}
+		i++
+		j = i + 1
+	}
+	// Unreachable when remaining > 0; keep the compiler happy.
+	return 0, 1
+}

@@ -1,0 +1,136 @@
+package a2a
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PruneRedundant is a post-optimisation pass over a valid A2A mapping
+// schema. The constructive algorithms (grouping, bin-pack-and-pair,
+// big/small split, greedy) may cover some pairs of inputs at more than one
+// reducer; every such extra covering is wasted communication. The pass
+//
+//  1. removes whole reducers whose every pair is also covered elsewhere, and
+//  2. removes individual input copies from reducers when every pair that
+//     copy participates in at that reducer is covered elsewhere,
+//
+// processing the most expensive candidates first. The result is a new schema
+// (the input is not modified) that is still valid, never uses more reducers,
+// and never ships more data.
+func PruneRedundant(ms *core.MappingSchema, set *core.InputSet) *core.MappingSchema {
+	m := set.Len()
+	if m < 2 || len(ms.Reducers) == 0 {
+		out := *ms
+		out.Reducers = append([]core.Reducer(nil), ms.Reducers...)
+		return &out
+	}
+
+	// Working copy of reducer member lists.
+	members := make([][]int, len(ms.Reducers))
+	for i, r := range ms.Reducers {
+		members[i] = append([]int(nil), r.Inputs...)
+	}
+
+	// coverCount[i*m+j] = number of reducers where inputs i and j currently
+	// meet (both orders kept in sync).
+	coverCount := make([]int32, m*m)
+	addPairs := func(ids []int, delta int32) {
+		for a := 0; a < len(ids); a++ {
+			for b := a + 1; b < len(ids); b++ {
+				i, j := ids[a], ids[b]
+				coverCount[i*m+j] += delta
+				coverCount[j*m+i] += delta
+			}
+		}
+	}
+	for _, ids := range members {
+		addPairs(ids, 1)
+	}
+
+	// Phase 1: drop redundant reducers, biggest load first.
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ms.Reducers[order[a]].Load > ms.Reducers[order[b]].Load
+	})
+	removed := make([]bool, len(members))
+	for _, r := range order {
+		ids := members[r]
+		if len(ids) < 2 {
+			// A reducer with fewer than two inputs covers nothing; always
+			// removable.
+			removed[r] = true
+			continue
+		}
+		redundant := true
+		for a := 0; a < len(ids) && redundant; a++ {
+			for b := a + 1; b < len(ids); b++ {
+				if coverCount[ids[a]*m+ids[b]] < 2 {
+					redundant = false
+					break
+				}
+			}
+		}
+		if redundant {
+			addPairs(ids, -1)
+			removed[r] = true
+		}
+	}
+
+	// Phase 2: drop redundant input copies, biggest inputs first.
+	for r := range members {
+		if removed[r] {
+			continue
+		}
+		ids := members[r]
+		bySize := append([]int(nil), ids...)
+		sort.SliceStable(bySize, func(a, b int) bool {
+			return set.Size(bySize[a]) > set.Size(bySize[b])
+		})
+		for _, candidate := range bySize {
+			current := members[r]
+			if len(current) <= 2 {
+				break
+			}
+			droppable := true
+			for _, other := range current {
+				if other == candidate {
+					continue
+				}
+				if coverCount[candidate*m+other] < 2 {
+					droppable = false
+					break
+				}
+			}
+			if !droppable {
+				continue
+			}
+			next := make([]int, 0, len(current)-1)
+			for _, other := range current {
+				if other == candidate {
+					continue
+				}
+				coverCount[candidate*m+other]--
+				coverCount[other*m+candidate]--
+				next = append(next, other)
+			}
+			members[r] = next
+		}
+	}
+
+	out := &core.MappingSchema{
+		Problem:   ms.Problem,
+		Capacity:  ms.Capacity,
+		Algorithm: ms.Algorithm + "+pruned",
+	}
+	for r := range members {
+		if removed[r] || len(members[r]) < 2 {
+			continue
+		}
+		out.AddReducerA2A(set, members[r])
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package a2a
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+func TestPruneRemovesDuplicateReducers(t *testing.T) {
+	set := core.MustNewInputSet([]core.Size{2, 2, 2})
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 6, Algorithm: "dup"}
+	ms.AddReducerA2A(set, []int{0, 1, 2})
+	ms.AddReducerA2A(set, []int{0, 1, 2}) // exact duplicate
+	ms.AddReducerA2A(set, []int{0, 1})    // subset, redundant
+	pruned := PruneRedundant(ms, set)
+	if pruned.NumReducers() != 1 {
+		t.Errorf("pruned to %d reducers, want 1", pruned.NumReducers())
+	}
+	if err := pruned.ValidateA2A(set); err != nil {
+		t.Errorf("pruned schema invalid: %v", err)
+	}
+	if pruned.Algorithm != "dup+pruned" {
+		t.Errorf("Algorithm = %q", pruned.Algorithm)
+	}
+	// Original untouched.
+	if ms.NumReducers() != 3 {
+		t.Errorf("original schema was modified: %d reducers", ms.NumReducers())
+	}
+}
+
+func TestPruneRemovesRedundantCopies(t *testing.T) {
+	// Reducer 0 covers everything; reducer 1 repeats pair (0,1) plus input 2,
+	// whose pairs are already covered, so input 2 (and then the whole
+	// reducer) is redundant.
+	set := core.MustNewInputSet([]core.Size{1, 1, 5})
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 10, Algorithm: "copies"}
+	ms.AddReducerA2A(set, []int{0, 1, 2})
+	ms.AddReducerA2A(set, []int{0, 1, 2})
+	pruned := PruneRedundant(ms, set)
+	if err := pruned.ValidateA2A(set); err != nil {
+		t.Fatalf("pruned schema invalid: %v", err)
+	}
+	costBefore := core.SchemaCost(ms, set.TotalSize())
+	costAfter := core.SchemaCost(pruned, set.TotalSize())
+	if costAfter.Communication >= costBefore.Communication {
+		t.Errorf("pruning did not reduce communication: %d -> %d", costBefore.Communication, costAfter.Communication)
+	}
+	if pruned.NumReducers() != 1 {
+		t.Errorf("pruned to %d reducers, want 1", pruned.NumReducers())
+	}
+}
+
+func TestPruneKeepsValidSchemasValidAndNeverCostsMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + rng.Intn(30)
+		q := core.Size(16 + rng.Intn(40))
+		sizes := make([]core.Size, m)
+		for i := range sizes {
+			sizes[i] = core.Size(1 + rng.Int63n(int64(q/2)))
+		}
+		set := core.MustNewInputSet(sizes)
+		for _, build := range []func() (*core.MappingSchema, error){
+			func() (*core.MappingSchema, error) { return Solve(set, q) },
+			func() (*core.MappingSchema, error) { return Greedy(set, q) },
+			func() (*core.MappingSchema, error) { return BigSmallSplit(set, q, binpack.FirstFitDecreasing) },
+		} {
+			ms, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned := PruneRedundant(ms, set)
+			if err := pruned.ValidateA2A(set); err != nil {
+				t.Fatalf("pruned schema invalid (sizes=%v q=%d): %v", sizes, q, err)
+			}
+			before := core.SchemaCost(ms, set.TotalSize())
+			after := core.SchemaCost(pruned, set.TotalSize())
+			if after.Reducers > before.Reducers {
+				t.Fatalf("pruning increased reducers: %d -> %d", before.Reducers, after.Reducers)
+			}
+			if after.Communication > before.Communication {
+				t.Fatalf("pruning increased communication: %d -> %d", before.Communication, after.Communication)
+			}
+		}
+	}
+}
+
+func TestPruneIdempotent(t *testing.T) {
+	set := core.MustNewInputSet([]core.Size{3, 1, 4, 1, 5, 2, 2})
+	ms, err := Greedy(set, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := PruneRedundant(ms, set)
+	twice := PruneRedundant(once, set)
+	if once.NumReducers() != twice.NumReducers() {
+		t.Errorf("pruning not idempotent: %d vs %d reducers", once.NumReducers(), twice.NumReducers())
+	}
+	c1 := core.SchemaCost(once, set.TotalSize())
+	c2 := core.SchemaCost(twice, set.TotalSize())
+	if c1.Communication != c2.Communication {
+		t.Errorf("pruning not idempotent: comm %d vs %d", c1.Communication, c2.Communication)
+	}
+}
+
+func TestPruneDegenerateInputs(t *testing.T) {
+	single := core.MustNewInputSet([]core.Size{4})
+	empty := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 10, Algorithm: "empty"}
+	pruned := PruneRedundant(empty, single)
+	if pruned.NumReducers() != 0 {
+		t.Errorf("pruning an empty schema produced %d reducers", pruned.NumReducers())
+	}
+	// A schema containing a useless single-input reducer loses it.
+	set := core.MustNewInputSet([]core.Size{2, 2})
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 10}
+	ms.AddReducerA2A(set, []int{0, 1})
+	ms.AddReducerA2A(set, []int{0})
+	pruned = PruneRedundant(ms, set)
+	if pruned.NumReducers() != 1 {
+		t.Errorf("single-input reducer not pruned: %d reducers", pruned.NumReducers())
+	}
+	if err := pruned.ValidateA2A(set); err != nil {
+		t.Errorf("pruned schema invalid: %v", err)
+	}
+}

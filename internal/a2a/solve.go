@@ -1,0 +1,83 @@
+package a2a
+
+import (
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+// Options configures Solve.
+type Options struct {
+	// Policy is the bin-packing heuristic used by the bin-packing-based
+	// algorithms. The zero value is binpack.FirstFit; most callers want
+	// binpack.FirstFitDecreasing, which DefaultOptions selects.
+	Policy binpack.Policy
+	// PreferEqualSized enables the specialised grouping algorithm when every
+	// input has the same size. Enabled by DefaultOptions.
+	PreferEqualSized bool
+}
+
+// DefaultOptions returns the options Solve uses when the caller passes the
+// zero Options value: First-Fit-Decreasing packing and the equal-sized
+// specialisation enabled.
+func DefaultOptions() Options {
+	return Options{Policy: binpack.FirstFitDecreasing, PreferEqualSized: true}
+}
+
+// Solve computes a mapping schema for an A2A instance, dispatching to the
+// appropriate algorithm: the equal-sized grouping algorithm when every input
+// has the same size, BigSmallSplit when an input exceeds q/2, and BinPackPair
+// otherwise. It returns core.ErrInfeasible (wrapped) when no schema exists.
+func Solve(set *core.InputSet, q core.Size) (*core.MappingSchema, error) {
+	return SolveWithOptions(set, q, DefaultOptions())
+}
+
+// SolveWithOptions is Solve with explicit options.
+func SolveWithOptions(set *core.InputSet, q core.Size, opts Options) (*core.MappingSchema, error) {
+	if err := CheckFeasible(set, q); err != nil {
+		return nil, err
+	}
+	if set.Len() <= 1 {
+		return emptySchema(q, "a2a/solve"), nil
+	}
+	if set.TotalSize() <= q {
+		return singleReducer(set, q, "a2a/single-reducer"), nil
+	}
+	primary, err := solvePrimary(set, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	// In the medium-sized-input regime (inputs larger than q/4 but any three
+	// still fitting together) the bin-packing and grouping constructions
+	// degenerate to one pair per reducer; the Steiner-triple cover packs
+	// three inputs per reducer there. Build it too and keep the cheaper
+	// schema.
+	if usable, profitable := TripleCoverApplicable(set, q); usable && profitable {
+		triple, err := TripleCover(set, q)
+		if err == nil && betterSchema(triple, primary, set) {
+			return triple, nil
+		}
+	}
+	return primary, nil
+}
+
+// solvePrimary runs the dispatch between the paper's constructive algorithms.
+func solvePrimary(set *core.InputSet, q core.Size, opts Options) (*core.MappingSchema, error) {
+	if opts.PreferEqualSized && set.MinSize() == set.MaxSize() {
+		return EqualSized(set, q)
+	}
+	if set.MaxSize() > q/2 {
+		return BigSmallSplit(set, q, opts.Policy)
+	}
+	return BinPackPair(set, q, opts.Policy)
+}
+
+// betterSchema reports whether a is strictly better than b: fewer reducers,
+// or the same number with less communication.
+func betterSchema(a, b *core.MappingSchema, set *core.InputSet) bool {
+	ca := core.SchemaCost(a, set.TotalSize())
+	cb := core.SchemaCost(b, set.TotalSize())
+	if ca.Reducers != cb.Reducers {
+		return ca.Reducers < cb.Reducers
+	}
+	return ca.Communication < cb.Communication
+}

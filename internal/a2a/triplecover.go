@@ -1,0 +1,125 @@
+package a2a
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// TripleCover handles the "medium-sized inputs" regime the bin-packing-based
+// algorithm is weakest in: when inputs are larger than q/4 (so a q/2 bin
+// holds only one of them) but any three of them still fit in a reducer
+// together. In that regime BinPackPair degenerates to one reducer per pair —
+// C(m,2) reducers — while reducers that hold three inputs cover three pairs
+// each, so roughly C(m,2)/3 reducers suffice.
+//
+// TripleCover builds that three-per-reducer assignment from a Steiner triple
+// system: the m inputs are embedded into m' >= m points with m' ≡ 3 (mod 6),
+// the Bose construction yields m'(m'-1)/6 triples covering every pair of
+// points exactly once, and each triple (restricted to the real inputs it
+// contains) becomes one reducer. Triples left with fewer than two real
+// inputs cover nothing and are dropped.
+//
+// It returns ErrTriplesDoNotFit when some three inputs exceed q together (the
+// construction would violate the capacity), and handles the degenerate m <= 2
+// cases like the other algorithms.
+func TripleCover(set *core.InputSet, q core.Size) (*core.MappingSchema, error) {
+	const algorithm = "a2a/triple-cover"
+	if set.Len() == 0 {
+		return emptySchema(q, algorithm), nil
+	}
+	if err := CheckFeasible(set, q); err != nil {
+		return nil, err
+	}
+	m := set.Len()
+	if m == 1 {
+		return emptySchema(q, algorithm), nil
+	}
+	if set.TotalSize() <= q {
+		return singleReducer(set, q, algorithm), nil
+	}
+	if m >= 3 {
+		if err := checkTriplesFit(set, q); err != nil {
+			return nil, err
+		}
+	}
+
+	// Embed the m inputs into m' >= m points, m' ≡ 3 (mod 6).
+	mp := m
+	for mp%6 != 3 {
+		mp++
+	}
+	triples := boseTriples(mp)
+
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q, Algorithm: algorithm}
+	for _, tr := range triples {
+		ids := make([]int, 0, 3)
+		for _, p := range tr {
+			if p < m {
+				ids = append(ids, p)
+			}
+		}
+		if len(ids) < 2 {
+			continue
+		}
+		ms.AddReducerA2A(set, ids)
+	}
+	return ms, nil
+}
+
+// ErrTriplesDoNotFit is returned by TripleCover when the three largest inputs
+// do not fit together in one reducer.
+var ErrTriplesDoNotFit = fmt.Errorf("a2a: three largest inputs exceed the reducer capacity together")
+
+// checkTriplesFit verifies that the three largest inputs fit in one reducer,
+// which implies every triple does.
+func checkTriplesFit(set *core.InputSet, q core.Size) error {
+	ids := set.IDsBySizeDescending()
+	var sum core.Size
+	for i := 0; i < 3 && i < len(ids); i++ {
+		sum += set.Size(ids[i])
+	}
+	if sum > q {
+		return fmt.Errorf("%w: %d > q=%d", ErrTriplesDoNotFit, sum, q)
+	}
+	return nil
+}
+
+// boseTriples returns the triples of a Steiner triple system on n points,
+// n ≡ 3 (mod 6), via the Bose construction: the points are pairs (i, k) with
+// i in Z_t (t = n/3, odd) and k in {0, 1, 2}, encoded as i*3 + k. The triples
+// are {(i,0), (i,1), (i,2)} for every i, and {(i,k), (j,k), (h,k+1)} for every
+// i < j and every k, where h = (i+j)/2 in Z_t (division by the inverse of 2).
+// Every pair of points occurs in exactly one triple.
+func boseTriples(n int) [][3]int {
+	t := n / 3 // odd because n ≡ 3 (mod 6)
+	inv2 := (t + 1) / 2
+	point := func(i, k int) int { return i*3 + k }
+	var out [][3]int
+	for i := 0; i < t; i++ {
+		out = append(out, [3]int{point(i, 0), point(i, 1), point(i, 2)})
+	}
+	for i := 0; i < t; i++ {
+		for j := i + 1; j < t; j++ {
+			h := ((i + j) * inv2) % t
+			for k := 0; k < 3; k++ {
+				out = append(out, [3]int{point(i, k), point(j, k), point(h, (k+1)%3)})
+			}
+		}
+	}
+	return out
+}
+
+// TripleCoverApplicable reports whether TripleCover can be used for the
+// instance (at least three inputs, and the three largest fit together) and
+// whether it is expected to beat BinPackPair there (some input larger than
+// q/4, so q/2 bins cannot hold two inputs each).
+func TripleCoverApplicable(set *core.InputSet, q core.Size) (usable, profitable bool) {
+	if set.Len() < 3 {
+		return false, false
+	}
+	if err := checkTriplesFit(set, q); err != nil {
+		return false, false
+	}
+	return true, set.MaxSize() > q/4
+}

@@ -1,0 +1,269 @@
+// Package binpack implements the bin-packing substrate used by the
+// mapping-schema approximation algorithms of internal/a2a and internal/x2y.
+//
+// The bin-packing-based algorithms in "Assignment of Different-Sized Inputs
+// in MapReduce" first pack inputs into bins of size q/2 (or q - w for a big
+// input of size w) and then combine bins into reducers. This package provides
+// the classical online and offline heuristics (First-Fit, First-Fit
+// Decreasing, Best-Fit Decreasing, Next-Fit, Worst-Fit) as well as an exact
+// branch-and-bound packer for small instances and the standard lower bounds,
+// so that the approximation quality of the heuristics can be measured.
+package binpack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Item is one object to pack: an identifier (opaque to this package — the
+// mapping-schema algorithms use input IDs) and a size.
+type Item struct {
+	ID   int
+	Size core.Size
+}
+
+// Bin is one bin of a packing: the IDs of the items placed in it and their
+// total size.
+type Bin struct {
+	Items []int
+	Load  core.Size
+}
+
+// Packing is the result of packing a set of items into bins of a fixed
+// capacity.
+type Packing struct {
+	Capacity core.Size
+	Bins     []Bin
+	// Policy names the algorithm that produced the packing.
+	Policy Policy
+}
+
+// NumBins returns the number of bins used.
+func (p *Packing) NumBins() int { return len(p.Bins) }
+
+// MaxLoad returns the largest bin load.
+func (p *Packing) MaxLoad() core.Size {
+	var max core.Size
+	for _, b := range p.Bins {
+		if b.Load > max {
+			max = b.Load
+		}
+	}
+	return max
+}
+
+// Validate checks that every item appears in exactly one bin and that no bin
+// exceeds the capacity. items must be the slice that was packed.
+func (p *Packing) Validate(items []Item) error {
+	sizes := make(map[int]core.Size, len(items))
+	for _, it := range items {
+		if _, dup := sizes[it.ID]; dup {
+			return fmt.Errorf("binpack: duplicate item ID %d in input", it.ID)
+		}
+		sizes[it.ID] = it.Size
+	}
+	seen := make(map[int]bool, len(items))
+	for i, b := range p.Bins {
+		var load core.Size
+		for _, id := range b.Items {
+			sz, ok := sizes[id]
+			if !ok {
+				return fmt.Errorf("binpack: bin %d contains unknown item %d", i, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("binpack: item %d appears in more than one bin", id)
+			}
+			seen[id] = true
+			load += sz
+		}
+		if load > p.Capacity {
+			return fmt.Errorf("binpack: bin %d load %d exceeds capacity %d", i, load, p.Capacity)
+		}
+		if load != b.Load {
+			return fmt.Errorf("binpack: bin %d records load %d but items sum to %d", i, b.Load, load)
+		}
+	}
+	if len(seen) != len(items) {
+		return fmt.Errorf("binpack: packed %d of %d items", len(seen), len(items))
+	}
+	return nil
+}
+
+// Policy selects a packing heuristic.
+type Policy int
+
+const (
+	// FirstFit places each item (in the given order) into the first bin it
+	// fits in, opening a new bin if none fits.
+	FirstFit Policy = iota
+	// FirstFitDecreasing sorts items by decreasing size and then applies
+	// First-Fit. This is the heuristic the paper's bin-pack-and-pair
+	// algorithms assume.
+	FirstFitDecreasing
+	// BestFitDecreasing sorts items by decreasing size and places each item
+	// into the fullest bin it still fits in.
+	BestFitDecreasing
+	// NextFit keeps only one open bin and closes it as soon as an item does
+	// not fit.
+	NextFit
+	// WorstFitDecreasing sorts items by decreasing size and places each item
+	// into the emptiest bin it fits in; it tends to balance loads.
+	WorstFitDecreasing
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case FirstFitDecreasing:
+		return "first-fit-decreasing"
+	case BestFitDecreasing:
+		return "best-fit-decreasing"
+	case NextFit:
+		return "next-fit"
+	case WorstFitDecreasing:
+		return "worst-fit-decreasing"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists every heuristic, in a stable order, for ablation sweeps.
+func Policies() []Policy {
+	return []Policy{FirstFit, FirstFitDecreasing, BestFitDecreasing, NextFit, WorstFitDecreasing}
+}
+
+// ErrItemTooLarge is returned when some item is larger than the bin capacity.
+var ErrItemTooLarge = errors.New("binpack: item larger than bin capacity")
+
+// Pack packs the items into bins of the given capacity using the selected
+// policy. It returns ErrItemTooLarge if any single item exceeds the capacity.
+func Pack(items []Item, capacity core.Size, policy Policy) (*Packing, error) {
+	for _, it := range items {
+		if it.Size > capacity {
+			return nil, fmt.Errorf("%w: item %d has size %d > %d", ErrItemTooLarge, it.ID, it.Size, capacity)
+		}
+		if it.Size <= 0 {
+			return nil, fmt.Errorf("binpack: item %d has non-positive size %d", it.ID, it.Size)
+		}
+	}
+	ordered := append([]Item(nil), items...)
+	switch policy {
+	case FirstFitDecreasing, BestFitDecreasing, WorstFitDecreasing:
+		sortDecreasing(ordered)
+	}
+	p := &Packing{Capacity: capacity, Policy: policy}
+	switch policy {
+	case FirstFit, FirstFitDecreasing:
+		packFirstFit(p, ordered)
+	case BestFitDecreasing:
+		packBestFit(p, ordered)
+	case NextFit:
+		packNextFit(p, ordered)
+	case WorstFitDecreasing:
+		packWorstFit(p, ordered)
+	default:
+		return nil, fmt.Errorf("binpack: unknown policy %v", policy)
+	}
+	return p, nil
+}
+
+// ItemsFromInputSet converts an input set into pack items, one per input, in
+// ID order.
+func ItemsFromInputSet(set *core.InputSet) []Item {
+	items := make([]Item, set.Len())
+	for i := 0; i < set.Len(); i++ {
+		items[i] = Item{ID: i, Size: set.Size(i)}
+	}
+	return items
+}
+
+// ItemsFromIDs converts the identified inputs of a set into pack items.
+func ItemsFromIDs(set *core.InputSet, ids []int) []Item {
+	items := make([]Item, len(ids))
+	for i, id := range ids {
+		items[i] = Item{ID: id, Size: set.Size(id)}
+	}
+	return items
+}
+
+func sortDecreasing(items []Item) {
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Size != items[j].Size {
+			return items[i].Size > items[j].Size
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+func packFirstFit(p *Packing, items []Item) {
+	for _, it := range items {
+		placed := false
+		for b := range p.Bins {
+			if p.Bins[b].Load+it.Size <= p.Capacity {
+				p.Bins[b].Items = append(p.Bins[b].Items, it.ID)
+				p.Bins[b].Load += it.Size
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			p.Bins = append(p.Bins, Bin{Items: []int{it.ID}, Load: it.Size})
+		}
+	}
+}
+
+func packBestFit(p *Packing, items []Item) {
+	for _, it := range items {
+		best := -1
+		var bestResidual core.Size
+		for b := range p.Bins {
+			residual := p.Capacity - p.Bins[b].Load
+			if it.Size <= residual && (best == -1 || residual < bestResidual) {
+				best = b
+				bestResidual = residual
+			}
+		}
+		if best == -1 {
+			p.Bins = append(p.Bins, Bin{Items: []int{it.ID}, Load: it.Size})
+			continue
+		}
+		p.Bins[best].Items = append(p.Bins[best].Items, it.ID)
+		p.Bins[best].Load += it.Size
+	}
+}
+
+func packNextFit(p *Packing, items []Item) {
+	for _, it := range items {
+		if n := len(p.Bins); n > 0 && p.Bins[n-1].Load+it.Size <= p.Capacity {
+			p.Bins[n-1].Items = append(p.Bins[n-1].Items, it.ID)
+			p.Bins[n-1].Load += it.Size
+			continue
+		}
+		p.Bins = append(p.Bins, Bin{Items: []int{it.ID}, Load: it.Size})
+	}
+}
+
+func packWorstFit(p *Packing, items []Item) {
+	for _, it := range items {
+		worst := -1
+		var worstResidual core.Size
+		for b := range p.Bins {
+			residual := p.Capacity - p.Bins[b].Load
+			if it.Size <= residual && (worst == -1 || residual > worstResidual) {
+				worst = b
+				worstResidual = residual
+			}
+		}
+		if worst == -1 {
+			p.Bins = append(p.Bins, Bin{Items: []int{it.ID}, Load: it.Size})
+			continue
+		}
+		p.Bins[worst].Items = append(p.Bins[worst].Items, it.ID)
+		p.Bins[worst].Load += it.Size
+	}
+}

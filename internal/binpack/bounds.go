@@ -1,0 +1,70 @@
+package binpack
+
+import "repro/internal/core"
+
+// SizeLowerBound is the trivial L1 lower bound on the number of bins:
+// ceil(total size / capacity). Every packing needs at least this many bins.
+func SizeLowerBound(items []Item, capacity core.Size) int {
+	if capacity <= 0 || len(items) == 0 {
+		return 0
+	}
+	var total core.Size
+	for _, it := range items {
+		total += it.Size
+	}
+	return int((total + capacity - 1) / capacity)
+}
+
+// L2LowerBound is the Martello–Toth L2 lower bound. For a threshold k it
+// partitions items into large (> capacity-k), medium (in (capacity/2, capacity-k])
+// and small (in [k, capacity/2]) classes and charges the small items only for
+// the space the medium items cannot absorb. The bound is the maximum over a
+// set of thresholds, and is never smaller than SizeLowerBound restricted to
+// items of size >= k for the best k.
+func L2LowerBound(items []Item, capacity core.Size) int {
+	if capacity <= 0 || len(items) == 0 {
+		return 0
+	}
+	best := SizeLowerBound(items, capacity)
+	// Candidate thresholds: every distinct item size up to capacity/2.
+	seen := map[core.Size]bool{}
+	thresholds := []core.Size{0}
+	for _, it := range items {
+		if it.Size <= capacity/2 && !seen[it.Size] {
+			seen[it.Size] = true
+			thresholds = append(thresholds, it.Size)
+		}
+	}
+	for _, k := range thresholds {
+		var nLarge, nMedium int
+		var sumMedium, sumSmall core.Size
+		for _, it := range items {
+			switch {
+			case it.Size > capacity-k:
+				nLarge++
+			case it.Size > capacity/2:
+				nMedium++
+				sumMedium += it.Size
+			case it.Size >= k:
+				sumSmall += it.Size
+			}
+		}
+		// Medium items need one bin each; the space left over in those bins
+		// can absorb small items.
+		free := core.Size(nMedium)*capacity - sumMedium
+		extra := 0
+		if sumSmall > free {
+			need := sumSmall - free
+			extra = int((need + capacity - 1) / capacity)
+		}
+		if b := nLarge + nMedium + extra; b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// BestLowerBound returns the strongest lower bound this package knows.
+func BestLowerBound(items []Item, capacity core.Size) int {
+	return L2LowerBound(items, capacity)
+}

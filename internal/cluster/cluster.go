@@ -1,0 +1,140 @@
+// Package cluster simulates executing the reduce phase of a mapping schema
+// on a cluster of parallel workers, so the parallelism side of the paper's
+// tradeoffs can be quantified beyond the static max-load metric: given a
+// per-reducer cost model (fixed task startup plus per-byte processing) and a
+// worker count, it computes the schedule makespan, the speedup over a single
+// worker, and the worker utilisation.
+//
+// The simulation is deliberately simple — reducers are independent tasks and
+// the scheduler is greedy longest-processing-time-first — because that is
+// the granularity at which the paper reasons about parallelism: more
+// reducers of smaller load mean more usable parallelism but more total work
+// (communication), fewer reducers of larger load mean the opposite.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CostModel prices one reducer task.
+type CostModel struct {
+	// StartupCost is the fixed cost of launching one reduce task (scheduling
+	// overhead, JVM start, container setup — in the same abstract time units
+	// as PerByte).
+	StartupCost float64
+	// PerByte is the processing cost per unit of reducer load.
+	PerByte float64
+}
+
+// DefaultCostModel charges 1 time unit of startup per task and 1 time unit
+// per 64 units of load, roughly the shape of a short Hadoop task.
+func DefaultCostModel() CostModel {
+	return CostModel{StartupCost: 1, PerByte: 1.0 / 64.0}
+}
+
+// TaskCost returns the simulated running time of a reducer with the given
+// load.
+func (m CostModel) TaskCost(load core.Size) float64 {
+	return m.StartupCost + m.PerByte*float64(load)
+}
+
+// Schedule is the outcome of simulating a schema on a worker pool.
+type Schedule struct {
+	// Workers is the number of workers simulated.
+	Workers int
+	// Tasks is the number of reduce tasks (reducers of the schema).
+	Tasks int
+	// Makespan is the completion time of the last worker.
+	Makespan float64
+	// TotalWork is the sum of all task costs (the single-worker makespan).
+	TotalWork float64
+	// Speedup is TotalWork / Makespan.
+	Speedup float64
+	// Utilisation is TotalWork / (Workers * Makespan), in [0, 1].
+	Utilisation float64
+	// WorkerFinish holds each worker's finish time, ascending.
+	WorkerFinish []float64
+}
+
+// ErrNoWorkers is returned when a simulation is requested with a
+// non-positive worker count.
+var ErrNoWorkers = errors.New("cluster: worker count must be positive")
+
+// Simulate schedules the schema's reducers on the given number of workers
+// under the cost model, using a greedy longest-processing-time-first
+// scheduler, and returns the resulting schedule statistics.
+func Simulate(ms *core.MappingSchema, workers int, model CostModel) (*Schedule, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrNoWorkers, workers)
+	}
+	costs := make([]float64, len(ms.Reducers))
+	var total float64
+	for i, r := range ms.Reducers {
+		costs[i] = model.TaskCost(r.Load)
+		total += costs[i]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(costs)))
+
+	finish := make([]float64, workers)
+	for _, c := range costs {
+		// Assign to the currently least-loaded worker.
+		minIdx := 0
+		for w := 1; w < workers; w++ {
+			if finish[w] < finish[minIdx] {
+				minIdx = w
+			}
+		}
+		finish[minIdx] += c
+	}
+	sort.Float64s(finish)
+
+	s := &Schedule{
+		Workers:      workers,
+		Tasks:        len(ms.Reducers),
+		TotalWork:    total,
+		WorkerFinish: finish,
+	}
+	if len(finish) > 0 {
+		s.Makespan = finish[len(finish)-1]
+	}
+	if s.Makespan > 0 {
+		s.Speedup = s.TotalWork / s.Makespan
+		s.Utilisation = s.TotalWork / (float64(workers) * s.Makespan)
+	}
+	return s, nil
+}
+
+// SpeedupCurve simulates the schema for every worker count in workersList
+// and returns the schedules in the same order. It is the building block of
+// the speedup-curve experiment.
+func SpeedupCurve(ms *core.MappingSchema, workersList []int, model CostModel) ([]*Schedule, error) {
+	out := make([]*Schedule, 0, len(workersList))
+	for _, w := range workersList {
+		s, err := Simulate(ms, w, model)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// MaxUsefulWorkers returns the smallest worker count beyond which the
+// makespan cannot improve: the number of reduce tasks (with fewer tasks than
+// workers some workers idle), or 1 for an empty schema.
+func MaxUsefulWorkers(ms *core.MappingSchema) int {
+	if len(ms.Reducers) == 0 {
+		return 1
+	}
+	return len(ms.Reducers)
+}
+
+// String implements fmt.Stringer.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("workers=%d tasks=%d makespan=%.2f speedup=%.2f util=%.2f",
+		s.Workers, s.Tasks, s.Makespan, s.Speedup, s.Utilisation)
+}

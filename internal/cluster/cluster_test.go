@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+)
+
+// schemaWithLoads builds a schema whose reducers have exactly the given
+// loads (one single-input reducer per load).
+func schemaWithLoads(loads ...core.Size) *core.MappingSchema {
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 1 << 30}
+	for _, l := range loads {
+		ms.Reducers = append(ms.Reducers, core.Reducer{Inputs: []int{0}, Load: l})
+	}
+	return ms
+}
+
+func TestTaskCost(t *testing.T) {
+	m := CostModel{StartupCost: 2, PerByte: 0.5}
+	if got := m.TaskCost(10); got != 7 {
+		t.Errorf("TaskCost(10) = %v, want 7", got)
+	}
+	d := DefaultCostModel()
+	if d.TaskCost(64) != 2 {
+		t.Errorf("default TaskCost(64) = %v, want 2", d.TaskCost(64))
+	}
+}
+
+func TestSimulateSingleWorkerEqualsTotalWork(t *testing.T) {
+	ms := schemaWithLoads(64, 128, 64)
+	s, err := Simulate(ms, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-s.TotalWork) > 1e-9 {
+		t.Errorf("single-worker makespan %v != total work %v", s.Makespan, s.TotalWork)
+	}
+	if s.Speedup != 1 || s.Utilisation != 1 {
+		t.Errorf("speedup/util = %v/%v, want 1/1", s.Speedup, s.Utilisation)
+	}
+	if s.Tasks != 3 {
+		t.Errorf("Tasks = %d, want 3", s.Tasks)
+	}
+}
+
+func TestSimulateBalancedTwoWorkers(t *testing.T) {
+	// Four identical tasks on two workers: perfect split.
+	ms := schemaWithLoads(64, 64, 64, 64)
+	s, err := Simulate(ms, 2, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan-s.TotalWork/2) > 1e-9 {
+		t.Errorf("makespan = %v, want %v", s.Makespan, s.TotalWork/2)
+	}
+	if math.Abs(s.Speedup-2) > 1e-9 {
+		t.Errorf("speedup = %v, want 2", s.Speedup)
+	}
+	if math.Abs(s.Utilisation-1) > 1e-9 {
+		t.Errorf("utilisation = %v, want 1", s.Utilisation)
+	}
+}
+
+func TestSimulateMoreWorkersThanTasks(t *testing.T) {
+	ms := schemaWithLoads(64, 640)
+	s, err := Simulate(ms, 10, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := DefaultCostModel()
+	if math.Abs(s.Makespan-model.TaskCost(640)) > 1e-9 {
+		t.Errorf("makespan = %v, want the largest task %v", s.Makespan, model.TaskCost(640))
+	}
+	if s.Utilisation >= 1 {
+		t.Errorf("utilisation = %v, want < 1 with idle workers", s.Utilisation)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	ms := schemaWithLoads(1)
+	if _, err := Simulate(ms, 0, DefaultCostModel()); !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("Simulate(0 workers) = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestSimulateEmptySchema(t *testing.T) {
+	ms := &core.MappingSchema{}
+	s, err := Simulate(ms, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 || s.Speedup != 0 || s.Tasks != 0 {
+		t.Errorf("empty schema schedule = %+v", s)
+	}
+	if MaxUsefulWorkers(ms) != 1 {
+		t.Errorf("MaxUsefulWorkers(empty) = %d, want 1", MaxUsefulWorkers(ms))
+	}
+}
+
+func TestSpeedupCurveMonotone(t *testing.T) {
+	// Speedup can never decrease when workers are added, and can never
+	// exceed the number of workers or the number of tasks.
+	rng := rand.New(rand.NewSource(3))
+	loads := make([]core.Size, 40)
+	for i := range loads {
+		loads[i] = core.Size(1 + rng.Intn(500))
+	}
+	ms := schemaWithLoads(loads...)
+	workers := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	curve, err := SpeedupCurve(ms, workers, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, s := range curve {
+		if s.Speedup+1e-9 < prev {
+			t.Errorf("speedup decreased at %d workers: %v -> %v", workers[i], prev, s.Speedup)
+		}
+		prev = s.Speedup
+		if s.Speedup > float64(s.Workers)+1e-9 {
+			t.Errorf("speedup %v exceeds worker count %d", s.Speedup, s.Workers)
+		}
+		if s.Speedup > float64(s.Tasks)+1e-9 {
+			t.Errorf("speedup %v exceeds task count %d", s.Speedup, s.Tasks)
+		}
+		if s.Utilisation < 0 || s.Utilisation > 1+1e-9 {
+			t.Errorf("utilisation %v out of range", s.Utilisation)
+		}
+	}
+	if MaxUsefulWorkers(ms) != 40 {
+		t.Errorf("MaxUsefulWorkers = %d, want 40", MaxUsefulWorkers(ms))
+	}
+}
+
+func TestSpeedupCurvePropagatesErrors(t *testing.T) {
+	ms := schemaWithLoads(1)
+	if _, err := SpeedupCurve(ms, []int{1, 0}, DefaultCostModel()); err == nil {
+		t.Error("SpeedupCurve accepted a zero worker count")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	ms := schemaWithLoads(64, 64)
+	s, err := Simulate(ms, 2, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.String(), "workers=2") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+// Integration: a real schema from the A2A solver shows the paper's
+// parallelism tradeoff — at a fixed worker count well below the reducer
+// count, a larger capacity produces *less* exploitable parallelism headroom
+// (fewer tasks) but also less total work.
+func TestSimulateOnRealSchemas(t *testing.T) {
+	set, err := core.UniformInputSet(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := DefaultCostModel()
+	small, err := a2a.Solve(set, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := a2a.Solve(set, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sSmall, err := Simulate(small, 16, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLarge, err := Simulate(large, 16, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSmall.Tasks <= sLarge.Tasks {
+		t.Errorf("smaller capacity should mean more tasks: %d vs %d", sSmall.Tasks, sLarge.Tasks)
+	}
+	if sSmall.TotalWork <= sLarge.TotalWork {
+		t.Errorf("smaller capacity should mean more total work: %v vs %v", sSmall.TotalWork, sLarge.TotalWork)
+	}
+	if MaxUsefulWorkers(small) <= MaxUsefulWorkers(large) {
+		t.Errorf("smaller capacity should allow more useful workers")
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cost summarises the price of a mapping schema in the terms the paper uses:
+// how many reducers it needs, how much data travels from the map phase to the
+// reduce phase, how often inputs are replicated, and how well the load is
+// spread across reducers (the parallelism side of the tradeoffs).
+type Cost struct {
+	// Reducers is the number of reducers the schema uses.
+	Reducers int
+	// Communication is the total amount of data transmitted from the map
+	// phase to the reduce phase: the sum of reducer loads, i.e. every copy of
+	// every input counts with its full size.
+	Communication Size
+	// ReplicationRate is Communication divided by the total size of the
+	// inputs: the average number of copies made of each unit of data.
+	ReplicationRate float64
+	// MaxLoad is the largest reducer load. The wall-clock time of the reduce
+	// phase is proportional to MaxLoad when every reducer runs in parallel,
+	// so a smaller MaxLoad means more effective parallelism.
+	MaxLoad Size
+	// MinLoad is the smallest reducer load.
+	MinLoad Size
+	// MeanLoad is the average reducer load.
+	MeanLoad float64
+	// LoadStdDev is the standard deviation of reducer loads; a measure of
+	// skew across reducers.
+	LoadStdDev float64
+	// Makespan estimates the reduce-phase completion time (in size units of
+	// work) when the reducers are scheduled on `workers` parallel workers
+	// with a longest-processing-time greedy scheduler. It is filled in by
+	// CostWithWorkers; Cost leaves it at zero.
+	Makespan Size
+	// Workers is the number of parallel workers Makespan was computed for.
+	Workers int
+}
+
+// SchemaCost computes the cost of a mapping schema. Reducer loads are taken
+// from the recorded Load fields (the validators check those against the input
+// sets).
+func SchemaCost(ms *MappingSchema, totalInputSize Size) Cost {
+	c := Cost{Reducers: len(ms.Reducers)}
+	if len(ms.Reducers) == 0 {
+		return c
+	}
+	c.MinLoad = ms.Reducers[0].Load
+	for _, r := range ms.Reducers {
+		c.Communication += r.Load
+		if r.Load > c.MaxLoad {
+			c.MaxLoad = r.Load
+		}
+		if r.Load < c.MinLoad {
+			c.MinLoad = r.Load
+		}
+	}
+	c.MeanLoad = float64(c.Communication) / float64(len(ms.Reducers))
+	var sq float64
+	for _, r := range ms.Reducers {
+		d := float64(r.Load) - c.MeanLoad
+		sq += d * d
+	}
+	c.LoadStdDev = math.Sqrt(sq / float64(len(ms.Reducers)))
+	if totalInputSize > 0 {
+		c.ReplicationRate = float64(c.Communication) / float64(totalInputSize)
+	}
+	return c
+}
+
+// CostWithWorkers computes SchemaCost and additionally estimates the
+// reduce-phase makespan when the schema's reducers are executed on the given
+// number of parallel workers using a longest-processing-time-first greedy
+// schedule.
+func CostWithWorkers(ms *MappingSchema, totalInputSize Size, workers int) Cost {
+	c := SchemaCost(ms, totalInputSize)
+	c.Workers = workers
+	c.Makespan = Makespan(ms, workers)
+	return c
+}
+
+// Makespan estimates the completion time of the reduce phase (in size units
+// of work) when the reducers run on `workers` parallel workers, scheduled
+// greedily by decreasing load (LPT). With workers >= len(reducers) the
+// makespan equals the maximum load; with a single worker it equals the total
+// communication.
+func Makespan(ms *MappingSchema, workers int) Size {
+	if workers <= 0 || len(ms.Reducers) == 0 {
+		return 0
+	}
+	loads := make([]Size, len(ms.Reducers))
+	for i, r := range ms.Reducers {
+		loads[i] = r.Load
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+	if workers > len(loads) {
+		workers = len(loads)
+	}
+	// Greedy LPT: assign each job to the currently least-loaded worker.
+	work := make([]Size, workers)
+	for _, l := range loads {
+		minIdx := 0
+		for w := 1; w < workers; w++ {
+			if work[w] < work[minIdx] {
+				minIdx = w
+			}
+		}
+		work[minIdx] += l
+	}
+	var max Size
+	for _, w := range work {
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// ReplicationCounts returns, for every input ID of an A2A schema, the number
+// of reducers that input is assigned to. The result is indexed by input ID.
+func ReplicationCounts(ms *MappingSchema, m int) []int {
+	counts := make([]int, m)
+	for _, r := range ms.Reducers {
+		for _, id := range r.Inputs {
+			if id >= 0 && id < m {
+				counts[id]++
+			}
+		}
+	}
+	return counts
+}
+
+// ReplicationCountsX2Y returns per-input replication counts for an X2Y
+// schema, one slice per side.
+func ReplicationCountsX2Y(ms *MappingSchema, nx, ny int) (x, y []int) {
+	x = make([]int, nx)
+	y = make([]int, ny)
+	for _, r := range ms.Reducers {
+		for _, id := range r.XInputs {
+			if id >= 0 && id < nx {
+				x[id]++
+			}
+		}
+		for _, id := range r.YInputs {
+			if id >= 0 && id < ny {
+				y[id]++
+			}
+		}
+	}
+	return x, y
+}
+
+// CoverageA2A returns the fraction of required pairs covered by the schema:
+// 1.0 for a valid schema, smaller for partial assignments. It is useful for
+// diagnosing heuristics; validation should use ValidateA2A.
+func CoverageA2A(ms *MappingSchema, m int) float64 {
+	if m < 2 {
+		return 1
+	}
+	covered := newPairSet(m)
+	for _, r := range ms.Reducers {
+		for i := 0; i < len(r.Inputs); i++ {
+			for j := i + 1; j < len(r.Inputs); j++ {
+				covered.add(r.Inputs[i], r.Inputs[j])
+			}
+		}
+	}
+	return float64(covered.count()) / float64(m*(m-1)/2)
+}
+
+// CoverageX2Y returns the fraction of required cross pairs covered by an X2Y
+// schema.
+func CoverageX2Y(ms *MappingSchema, nx, ny int) float64 {
+	if nx == 0 || ny == 0 {
+		return 1
+	}
+	covered := make([]bool, nx*ny)
+	n := 0
+	for _, r := range ms.Reducers {
+		for _, x := range r.XInputs {
+			for _, y := range r.YInputs {
+				if !covered[x*ny+y] {
+					covered[x*ny+y] = true
+					n++
+				}
+			}
+		}
+	}
+	return float64(n) / float64(nx*ny)
+}
+
+// String implements fmt.Stringer, rendering the headline numbers.
+func (c Cost) String() string {
+	return fmt.Sprintf("reducers=%d comm=%d repl=%.3f maxLoad=%d", c.Reducers, c.Communication, c.ReplicationRate, c.MaxLoad)
+}

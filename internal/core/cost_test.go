@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func schemaFor(t *testing.T, sizes []Size, q Size, groups [][]int) (*InputSet, *MappingSchema) {
+	t.Helper()
+	set := MustNewInputSet(sizes)
+	ms := &MappingSchema{Problem: ProblemA2A, Capacity: q, Algorithm: "test"}
+	for _, g := range groups {
+		ms.AddReducerA2A(set, g)
+	}
+	return set, ms
+}
+
+func TestSchemaCostBasics(t *testing.T) {
+	set, ms := schemaFor(t, []Size{2, 2, 2}, 6, [][]int{{0, 1, 2}})
+	c := SchemaCost(ms, set.TotalSize())
+	if c.Reducers != 1 {
+		t.Errorf("Reducers = %d, want 1", c.Reducers)
+	}
+	if c.Communication != 6 {
+		t.Errorf("Communication = %d, want 6", c.Communication)
+	}
+	if c.ReplicationRate != 1.0 {
+		t.Errorf("ReplicationRate = %v, want 1.0", c.ReplicationRate)
+	}
+	if c.MaxLoad != 6 || c.MinLoad != 6 {
+		t.Errorf("MaxLoad/MinLoad = %d/%d, want 6/6", c.MaxLoad, c.MinLoad)
+	}
+	if c.LoadStdDev != 0 {
+		t.Errorf("LoadStdDev = %v, want 0", c.LoadStdDev)
+	}
+}
+
+func TestSchemaCostReplication(t *testing.T) {
+	// Inputs 0,1,2 each of size 2; three pairwise reducers. Each input is
+	// replicated twice, so communication = 2 * total.
+	set, ms := schemaFor(t, []Size{2, 2, 2}, 4, [][]int{{0, 1}, {0, 2}, {1, 2}})
+	c := SchemaCost(ms, set.TotalSize())
+	if c.Communication != 12 {
+		t.Errorf("Communication = %d, want 12", c.Communication)
+	}
+	if c.ReplicationRate != 2.0 {
+		t.Errorf("ReplicationRate = %v, want 2.0", c.ReplicationRate)
+	}
+}
+
+func TestSchemaCostEmpty(t *testing.T) {
+	ms := &MappingSchema{Problem: ProblemA2A, Capacity: 4}
+	c := SchemaCost(ms, 10)
+	if c.Reducers != 0 || c.Communication != 0 || c.ReplicationRate != 0 {
+		t.Errorf("empty schema cost = %+v", c)
+	}
+}
+
+func TestSchemaCostLoadSpread(t *testing.T) {
+	_, ms := schemaFor(t, []Size{1, 3}, 4, [][]int{{0}, {1}})
+	c := SchemaCost(ms, 4)
+	if c.MinLoad != 1 || c.MaxLoad != 3 {
+		t.Errorf("Min/Max = %d/%d, want 1/3", c.MinLoad, c.MaxLoad)
+	}
+	if c.MeanLoad != 2 {
+		t.Errorf("MeanLoad = %v, want 2", c.MeanLoad)
+	}
+	if math.Abs(c.LoadStdDev-1) > 1e-9 {
+		t.Errorf("LoadStdDev = %v, want 1", c.LoadStdDev)
+	}
+}
+
+func TestMakespan(t *testing.T) {
+	_, ms := schemaFor(t, []Size{4, 3, 2, 1}, 4, [][]int{{0}, {1}, {2}, {3}})
+	// Loads are 4,3,2,1.
+	if got := Makespan(ms, 1); got != 10 {
+		t.Errorf("Makespan(1) = %d, want 10", got)
+	}
+	if got := Makespan(ms, 2); got != 5 {
+		t.Errorf("Makespan(2) = %d, want 5 (4+1 vs 3+2)", got)
+	}
+	if got := Makespan(ms, 4); got != 4 {
+		t.Errorf("Makespan(4) = %d, want max load 4", got)
+	}
+	if got := Makespan(ms, 100); got != 4 {
+		t.Errorf("Makespan(100) = %d, want 4", got)
+	}
+	if got := Makespan(ms, 0); got != 0 {
+		t.Errorf("Makespan(0) = %d, want 0", got)
+	}
+}
+
+func TestCostWithWorkers(t *testing.T) {
+	set, ms := schemaFor(t, []Size{4, 3, 2, 1}, 4, [][]int{{0}, {1}, {2}, {3}})
+	c := CostWithWorkers(ms, set.TotalSize(), 2)
+	if c.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", c.Workers)
+	}
+	if c.Makespan != 5 {
+		t.Errorf("Makespan = %d, want 5", c.Makespan)
+	}
+	if c.Reducers != 4 {
+		t.Errorf("Reducers = %d, want 4", c.Reducers)
+	}
+}
+
+func TestReplicationCounts(t *testing.T) {
+	_, ms := schemaFor(t, []Size{2, 2, 2}, 4, [][]int{{0, 1}, {0, 2}, {1, 2}})
+	counts := ReplicationCounts(ms, 3)
+	for i, c := range counts {
+		if c != 2 {
+			t.Errorf("input %d replicated %d times, want 2", i, c)
+		}
+	}
+	// Out-of-range IDs are ignored rather than panicking.
+	msBad := &MappingSchema{Reducers: []Reducer{{Inputs: []int{7}}}}
+	if got := ReplicationCounts(msBad, 3); got[0] != 0 {
+		t.Errorf("out-of-range IDs should be ignored, got %v", got)
+	}
+}
+
+func TestReplicationCountsX2Y(t *testing.T) {
+	xs := MustNewInputSet([]Size{1, 1})
+	ys := MustNewInputSet([]Size{1, 1, 1})
+	ms := &MappingSchema{Problem: ProblemX2Y, Capacity: 10}
+	ms.AddReducerX2Y(xs, ys, []int{0}, []int{0, 1, 2})
+	ms.AddReducerX2Y(xs, ys, []int{1}, []int{0, 1, 2})
+	xc, yc := ReplicationCountsX2Y(ms, 2, 3)
+	if xc[0] != 1 || xc[1] != 1 {
+		t.Errorf("X replication = %v, want [1 1]", xc)
+	}
+	for i, c := range yc {
+		if c != 2 {
+			t.Errorf("Y input %d replicated %d times, want 2", i, c)
+		}
+	}
+}
+
+func TestCoverageA2A(t *testing.T) {
+	_, ms := schemaFor(t, []Size{1, 1, 1}, 2, [][]int{{0, 1}})
+	got := CoverageA2A(ms, 3)
+	want := 1.0 / 3.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CoverageA2A = %v, want %v", got, want)
+	}
+	if CoverageA2A(ms, 1) != 1 {
+		t.Error("coverage with fewer than two inputs should be 1")
+	}
+	_, full := schemaFor(t, []Size{1, 1, 1}, 3, [][]int{{0, 1, 2}})
+	if CoverageA2A(full, 3) != 1 {
+		t.Error("full schema coverage should be 1")
+	}
+}
+
+func TestCoverageX2Y(t *testing.T) {
+	xs := MustNewInputSet([]Size{1, 1})
+	ys := MustNewInputSet([]Size{1, 1})
+	ms := &MappingSchema{Problem: ProblemX2Y, Capacity: 10}
+	ms.AddReducerX2Y(xs, ys, []int{0}, []int{0, 1})
+	if got := CoverageX2Y(ms, 2, 2); got != 0.5 {
+		t.Errorf("CoverageX2Y = %v, want 0.5", got)
+	}
+	if CoverageX2Y(ms, 0, 5) != 1 {
+		t.Error("coverage with an empty side should be 1")
+	}
+}
+
+func TestCostString(t *testing.T) {
+	c := Cost{Reducers: 3, Communication: 12, ReplicationRate: 2, MaxLoad: 4}
+	s := c.String()
+	if !strings.Contains(s, "reducers=3") || !strings.Contains(s, "comm=12") {
+		t.Errorf("Cost.String() = %q", s)
+	}
+}

@@ -1,0 +1,19 @@
+// Package core defines the shared vocabulary of the mapping-schema problems
+// studied in "Assignment of Different-Sized Inputs in MapReduce" (Afrati,
+// Dolev, Korach, Sharma, Ullman; EDBT 2015): inputs with sizes, reducers with
+// a fixed capacity q, mapping schemas that assign inputs to reducers, and the
+// cost metrics (number of reducers, communication cost, replication rate,
+// parallelism) that the paper's tradeoffs are expressed in.
+//
+// A mapping schema is valid when
+//
+//  1. no reducer is assigned inputs whose sizes sum to more than the reducer
+//     capacity q, and
+//  2. every required pair of inputs (all pairs for the A2A problem, every
+//     cross pair for the X2Y problem) is assigned to at least one reducer in
+//     common.
+//
+// The algorithm packages (internal/a2a, internal/x2y) produce values of
+// MappingSchema; this package knows how to validate them and how to price
+// them.
+package core

@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Build an input set, assemble a mapping schema by hand, validate it and
+// price it.
+func ExampleSchemaCost() {
+	set, _ := core.NewInputSet([]core.Size{2, 2, 2})
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 4, Algorithm: "by-hand"}
+	ms.AddReducerA2A(set, []int{0, 1})
+	ms.AddReducerA2A(set, []int{0, 2})
+	ms.AddReducerA2A(set, []int{1, 2})
+	if err := ms.ValidateA2A(set); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	fmt.Println(core.SchemaCost(ms, set.TotalSize()))
+	// Output: reducers=3 comm=12 repl=2.000 maxLoad=4
+}
+
+func ExampleNewInputSet() {
+	set, err := core.NewInputSet([]core.Size{5, 1, 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(set.Len(), set.TotalSize(), set.MaxSize())
+	// Output: 3 9 5
+}

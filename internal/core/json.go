@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON form of a mapping schema is the hand-off format between the
+// planning side of this library and an external execution engine (e.g. a
+// driver that configures a real Hadoop/Spark job): it lists, for every
+// reducer, the IDs of the inputs that must be routed to it. MarshalJSON and
+// UnmarshalJSON round-trip MappingSchema through that format.
+
+// schemaJSON is the wire representation of MappingSchema.
+type schemaJSON struct {
+	Problem   string        `json:"problem"`
+	Capacity  Size          `json:"capacity"`
+	Algorithm string        `json:"algorithm,omitempty"`
+	Reducers  []reducerJSON `json:"reducers"`
+}
+
+type reducerJSON struct {
+	Inputs  []int `json:"inputs,omitempty"`
+	XInputs []int `json:"x_inputs,omitempty"`
+	YInputs []int `json:"y_inputs,omitempty"`
+	Load    Size  `json:"load"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (ms *MappingSchema) MarshalJSON() ([]byte, error) {
+	out := schemaJSON{
+		Problem:   ms.Problem.String(),
+		Capacity:  ms.Capacity,
+		Algorithm: ms.Algorithm,
+		Reducers:  make([]reducerJSON, len(ms.Reducers)),
+	}
+	for i, r := range ms.Reducers {
+		out.Reducers[i] = reducerJSON{Inputs: r.Inputs, XInputs: r.XInputs, YInputs: r.YInputs, Load: r.Load}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (ms *MappingSchema) UnmarshalJSON(data []byte) error {
+	var in schemaJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("core: decoding mapping schema: %w", err)
+	}
+	switch in.Problem {
+	case "A2A":
+		ms.Problem = ProblemA2A
+	case "X2Y":
+		ms.Problem = ProblemX2Y
+	default:
+		return fmt.Errorf("core: unknown problem %q in mapping schema JSON", in.Problem)
+	}
+	ms.Capacity = in.Capacity
+	ms.Algorithm = in.Algorithm
+	ms.Reducers = make([]Reducer, len(in.Reducers))
+	for i, r := range in.Reducers {
+		ms.Reducers[i] = Reducer{Inputs: r.Inputs, XInputs: r.XInputs, YInputs: r.YInputs, Load: r.Load}
+	}
+	return nil
+}

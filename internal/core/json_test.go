@@ -1,0 +1,82 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSchemaJSONRoundTripA2A(t *testing.T) {
+	set := MustNewInputSet([]Size{2, 3, 4})
+	ms := &MappingSchema{Problem: ProblemA2A, Capacity: 9, Algorithm: "test-algo"}
+	ms.AddReducerA2A(set, []int{0, 1, 2})
+
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"problem":"A2A"`) {
+		t.Errorf("JSON = %s", data)
+	}
+	var back MappingSchema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Problem != ProblemA2A || back.Capacity != 9 || back.Algorithm != "test-algo" {
+		t.Errorf("round trip header = %+v", back)
+	}
+	if !reflect.DeepEqual(back.Reducers, ms.Reducers) {
+		t.Errorf("round trip reducers = %+v, want %+v", back.Reducers, ms.Reducers)
+	}
+	if err := back.ValidateA2A(set); err != nil {
+		t.Errorf("round-tripped schema invalid: %v", err)
+	}
+}
+
+func TestSchemaJSONRoundTripX2Y(t *testing.T) {
+	xs := MustNewInputSet([]Size{2})
+	ys := MustNewInputSet([]Size{3, 1})
+	ms := &MappingSchema{Problem: ProblemX2Y, Capacity: 6}
+	ms.AddReducerX2Y(xs, ys, []int{0}, []int{0, 1})
+
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MappingSchema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.ValidateX2Y(xs, ys); err != nil {
+		t.Errorf("round-tripped schema invalid: %v", err)
+	}
+	if back.Reducers[0].Load != 6 {
+		t.Errorf("Load = %d, want 6", back.Reducers[0].Load)
+	}
+}
+
+func TestSchemaJSONUnmarshalErrors(t *testing.T) {
+	var ms MappingSchema
+	if err := json.Unmarshal([]byte(`{"problem":"WAT","capacity":3,"reducers":[]}`), &ms); err == nil {
+		t.Error("accepted unknown problem")
+	}
+	if err := json.Unmarshal([]byte(`{`), &ms); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestSchemaJSONEmptySchema(t *testing.T) {
+	ms := &MappingSchema{Problem: ProblemA2A, Capacity: 5}
+	data, err := json.Marshal(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MappingSchema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumReducers() != 0 || back.Capacity != 5 {
+		t.Errorf("round trip = %+v", back)
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/a2a"
+	"repro/internal/binpack"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// T1EqualSized reproduces the equal-sized special case: m unit-size inputs,
+// sweeping the reducer capacity q and reporting the grouping algorithm's
+// reducer count and communication against the lower bounds.
+func T1EqualSized(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(1000, 16)
+	tbl := report.NewTable(
+		fmt.Sprintf("T1: A2A equal-sized inputs (m=%d, w=1) — reducers vs capacity", m),
+		"q", "reducers", "lb_reducers", "ratio", "comm", "lb_comm", "replication")
+	set, err := core.UniformInputSet(m, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range []core.Size{4, 8, 16, 32, 64, 128, 256} {
+		ms, err := a2a.EqualSized(set, q)
+		if err != nil {
+			return nil, fmt.Errorf("T1 q=%d: %w", q, err)
+		}
+		cost := core.SchemaCost(ms, set.TotalSize())
+		lb := a2a.EqualSizedLowerBound(m, 1, q)
+		tbl.AddRow(q, cost.Reducers, lb.Reducers, ratio(cost.Reducers, lb.Reducers),
+			cost.Communication, lb.Communication, cost.ReplicationRate)
+	}
+	return tbl, nil
+}
+
+// T2DifferentSized compares the bin-pack-and-pair algorithm (FFD and BFD
+// packing) against the lower bounds for different input-size distributions.
+func T2DifferentSized(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(1000, 32)
+	maxSize := core.Size(30)
+	tbl := report.NewTable(
+		fmt.Sprintf("T2: A2A different-sized inputs (m=%d, sizes in [1,%d]) — algorithm comparison", m, maxSize),
+		"dist", "q", "algorithm", "reducers", "lb_reducers", "ratio", "comm", "replication")
+	dists := []workload.Distribution{workload.Uniform, workload.Zipf, workload.Exponential}
+	for _, dist := range dists {
+		set, err := workload.InputSet(sizeSpecFor(dist, maxSize), m, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range []core.Size{64, 128, 256} {
+			lb := a2a.LowerBounds(set, q)
+			for _, pol := range []binpack.Policy{binpack.FirstFitDecreasing, binpack.BestFitDecreasing} {
+				ms, err := a2a.BinPackPair(set, q, pol)
+				if err != nil {
+					return nil, fmt.Errorf("T2 %v q=%d %v: %w", dist, q, pol, err)
+				}
+				cost := core.SchemaCost(ms, set.TotalSize())
+				tbl.AddRow(dist, q, "bin-pack-pair/"+pol.String(), cost.Reducers, lb.Reducers,
+					ratio(cost.Reducers, lb.Reducers), cost.Communication, cost.ReplicationRate)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// T3CommunicationTradeoff sweeps the reducer capacity q and reports the
+// communication cost and replication rate of the schema (tradeoff iii of the
+// paper: larger reducers mean fewer copies of each input).
+func T3CommunicationTradeoff(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(1000, 32)
+	maxSize := core.Size(30)
+	set, err := workload.InputSet(sizeSpecFor(workload.Zipf, maxSize), m, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("T3: communication cost vs capacity (m=%d Zipf sizes, total=%d)", m, set.TotalSize()),
+		"q", "reducers", "comm", "replication", "lb_comm", "comm_ratio")
+	for _, q := range []core.Size{64, 96, 128, 192, 256, 384, 512} {
+		ms, err := a2a.Solve(set, q)
+		if err != nil {
+			return nil, fmt.Errorf("T3 q=%d: %w", q, err)
+		}
+		cost := core.SchemaCost(ms, set.TotalSize())
+		lb := a2a.LowerBounds(set, q)
+		tbl.AddRow(q, cost.Reducers, cost.Communication, cost.ReplicationRate,
+			lb.Communication, ratioSize(cost.Communication, lb.Communication))
+	}
+	return tbl, nil
+}
+
+// T4ParallelismTradeoff sweeps the reducer capacity q and reports the load
+// profile of the schema: max reducer load and the makespan on a fixed worker
+// pool (tradeoff ii: larger reducers mean fewer, longer-running reduce
+// tasks).
+func T4ParallelismTradeoff(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(1000, 32)
+	maxSize := core.Size(30)
+	set, err := workload.InputSet(sizeSpecFor(workload.Zipf, maxSize), m, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("T4: parallelism vs capacity (m=%d Zipf sizes, %d workers)", m, p.Workers),
+		"q", "reducers", "max_load", "mean_load", "load_stddev", "makespan")
+	for _, q := range []core.Size{64, 96, 128, 192, 256, 384, 512} {
+		ms, err := a2a.Solve(set, q)
+		if err != nil {
+			return nil, fmt.Errorf("T4 q=%d: %w", q, err)
+		}
+		cost := core.CostWithWorkers(ms, set.TotalSize(), p.Workers)
+		tbl.AddRow(q, cost.Reducers, cost.MaxLoad, cost.MeanLoad, cost.LoadStdDev, cost.Makespan)
+	}
+	return tbl, nil
+}
+
+// T8ApproximationRatio measures, on small random instances where the exact
+// optimum is computable, the reducer-count ratio of the heuristics to the
+// optimum.
+func T8ApproximationRatio(p Params) (*report.Table, error) {
+	p = p.normalize()
+	trials := p.scaled(20, 3)
+	tbl := report.NewTable(
+		fmt.Sprintf("T8: approximation ratio vs exact optimum (%d trials per row)", trials),
+		"m", "q", "avg_opt", "avg_ratio_binpackpair", "avg_ratio_greedy", "max_ratio_binpackpair")
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, m := range []int{6, 8, 10} {
+		for _, q := range []core.Size{10, 16} {
+			var sumOpt, sumBPP, sumGreedy float64
+			var maxBPP float64
+			n := 0
+			for trial := 0; trial < trials; trial++ {
+				sizes := make([]core.Size, m)
+				for i := range sizes {
+					sizes[i] = core.Size(1 + rng.Int63n(int64(q)/2))
+				}
+				set := core.MustNewInputSet(sizes)
+				exact, err := a2a.Exact(set, q, a2a.ExactOptions{MaxNodes: 500_000})
+				if err != nil && err != a2a.ErrNodeBudget {
+					return nil, fmt.Errorf("T8 m=%d q=%d: %w", m, q, err)
+				}
+				bpp, err := a2a.Solve(set, q)
+				if err != nil {
+					return nil, err
+				}
+				gr, err := a2a.Greedy(set, q)
+				if err != nil {
+					return nil, err
+				}
+				opt := exact.NumReducers()
+				if opt == 0 {
+					continue
+				}
+				n++
+				sumOpt += float64(opt)
+				rb := float64(bpp.NumReducers()) / float64(opt)
+				rg := float64(gr.NumReducers()) / float64(opt)
+				sumBPP += rb
+				sumGreedy += rg
+				if rb > maxBPP {
+					maxBPP = rb
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			tbl.AddRow(m, q, sumOpt/float64(n), sumBPP/float64(n), sumGreedy/float64(n), maxBPP)
+		}
+	}
+	return tbl, nil
+}
+
+// T9BigInputs studies instances with one input larger than q/2: the split
+// algorithm handles it directly, while the greedy baseline is the only other
+// heuristic that accepts such instances.
+func T9BigInputs(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(300, 16)
+	q := core.Size(120)
+	tbl := report.NewTable(
+		fmt.Sprintf("T9: big-input handling (m=%d, q=%d, one input of the given size, rest in [1,20])", m, q),
+		"big_size", "algorithm", "reducers", "lb_reducers", "ratio", "comm")
+	rng := rand.New(rand.NewSource(p.Seed))
+	for _, bigSize := range []core.Size{0, 70, 85, 100} {
+		sizes := make([]core.Size, m)
+		for i := range sizes {
+			sizes[i] = core.Size(1 + rng.Int63n(20))
+		}
+		label := "none"
+		if bigSize > 0 {
+			sizes[0] = bigSize
+			label = fmt.Sprintf("%d", bigSize)
+		}
+		set := core.MustNewInputSet(sizes)
+		lb := a2a.LowerBounds(set, q)
+
+		split, err := a2a.BigSmallSplit(set, q, binpack.FirstFitDecreasing)
+		if err != nil {
+			return nil, fmt.Errorf("T9 big=%d split: %w", bigSize, err)
+		}
+		costSplit := core.SchemaCost(split, set.TotalSize())
+		tbl.AddRow(label, "big-small-split", costSplit.Reducers, lb.Reducers,
+			ratio(costSplit.Reducers, lb.Reducers), costSplit.Communication)
+
+		gr, err := a2a.Greedy(set, q)
+		if err != nil {
+			return nil, fmt.Errorf("T9 big=%d greedy: %w", bigSize, err)
+		}
+		costGr := core.SchemaCost(gr, set.TotalSize())
+		tbl.AddRow(label, "greedy", costGr.Reducers, lb.Reducers,
+			ratio(costGr.Reducers, lb.Reducers), costGr.Communication)
+	}
+	return tbl, nil
+}
+
+// T10BinPackAblation compares the bin-packing policies inside the
+// bin-pack-and-pair algorithm across size distributions: the number of q/2
+// bins each policy needs and the resulting reducer count.
+func T10BinPackAblation(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(1000, 32)
+	maxSize := core.Size(30)
+	q := core.Size(128)
+	tbl := report.NewTable(
+		fmt.Sprintf("T10: bin-packing policy ablation (m=%d, q=%d)", m, q),
+		"dist", "policy", "bins", "lb_bins", "reducers", "comm")
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Zipf, workload.Exponential, workload.Bimodal} {
+		set, err := workload.InputSet(sizeSpecFor(dist, maxSize), m, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		items := binpack.ItemsFromInputSet(set)
+		lbBins := binpack.BestLowerBound(items, q/2)
+		for _, pol := range binpack.Policies() {
+			packing, err := binpack.Pack(items, q/2, pol)
+			if err != nil {
+				return nil, fmt.Errorf("T10 %v %v: %w", dist, pol, err)
+			}
+			ms, err := a2a.BinPackPair(set, q, pol)
+			if err != nil {
+				return nil, fmt.Errorf("T10 %v %v schema: %w", dist, pol, err)
+			}
+			cost := core.SchemaCost(ms, set.TotalSize())
+			tbl.AddRow(dist, pol, packing.NumBins(), lbBins, cost.Reducers, cost.Communication)
+		}
+	}
+	return tbl, nil
+}

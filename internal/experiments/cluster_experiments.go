@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/a2a"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// T11SpeedupCurves simulates executing the A2A schemas for two reducer
+// capacities on growing worker pools and reports the speedup and utilisation
+// curves: the small-capacity schema has far more (smaller) reduce tasks, so
+// it keeps scaling to larger pools, while the large-capacity schema runs out
+// of parallelism early — the quantitative form of the paper's tradeoff (ii).
+func T11SpeedupCurves(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(1000, 32)
+	maxSize := core.Size(30)
+	set, err := workload.InputSet(sizeSpecFor(workload.Zipf, maxSize), m, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	model := cluster.DefaultCostModel()
+	tbl := report.NewTable(
+		fmt.Sprintf("T11: speedup curves (m=%d Zipf sizes, startup=%.0f, per-byte=%.4f)", m, model.StartupCost, model.PerByte),
+		"q", "reducers", "workers", "makespan", "speedup", "utilisation", "max_useful_workers")
+	workerCounts := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	for _, q := range []core.Size{64, 256} {
+		ms, err := a2a.Solve(set, q)
+		if err != nil {
+			return nil, fmt.Errorf("T11 q=%d: %w", q, err)
+		}
+		curve, err := cluster.SpeedupCurve(ms, workerCounts, model)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range curve {
+			tbl.AddRow(q, s.Tasks, s.Workers, s.Makespan, s.Speedup, s.Utilisation, cluster.MaxUsefulWorkers(ms))
+		}
+	}
+	return tbl, nil
+}

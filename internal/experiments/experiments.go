@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the reproduction
+// (see EXPERIMENTS.md and the per-experiment index in DESIGN.md). Each
+// function builds the synthetic workload, runs the relevant algorithms, and
+// returns a report.Table with one row per series point, so that the
+// cmd/experiments binary and the root-level benchmarks share one
+// implementation.
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Params scales and seeds the experiment workloads. The zero value is
+// replaced by Defaults.
+type Params struct {
+	// Seed feeds every workload generator.
+	Seed int64
+	// Scale multiplies the default workload sizes; benchmarks use values
+	// below 1 to keep iterations fast, the experiments binary uses 1.
+	Scale float64
+	// Workers is the parallel-worker count used for makespan estimates.
+	Workers int
+}
+
+// Defaults returns the parameters used by cmd/experiments.
+func Defaults() Params {
+	return Params{Seed: 42, Scale: 1.0, Workers: 32}
+}
+
+// normalize fills in zero fields.
+func (p Params) normalize() Params {
+	d := Defaults()
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.Scale <= 0 {
+		p.Scale = d.Scale
+	}
+	if p.Workers <= 0 {
+		p.Workers = d.Workers
+	}
+	return p
+}
+
+// scaled returns max(lo, round(base*Scale)).
+func (p Params) scaled(base int, lo int) int {
+	n := int(math.Round(float64(base) * p.Scale))
+	if n < lo {
+		n = lo
+	}
+	return n
+}
+
+// ratio renders a/b, guarding against a zero denominator.
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ratioSize is ratio for core.Size quantities.
+func ratioSize(a, b core.Size) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// sizeSpecFor builds the standard size specs used across experiments: sizes
+// in [1, maxSize] under the given distribution.
+func sizeSpecFor(dist workload.Distribution, maxSize core.Size) workload.SizeSpec {
+	return workload.SizeSpec{
+		Dist: dist,
+		Min:  1,
+		Max:  maxSize,
+		Skew: 1.5,
+		Mean: float64(maxSize) / 4,
+		// Bimodal: 5% of the inputs take the maximum size.
+		BigFraction: 0.05,
+	}
+}
+
+// Experiment couples an identifier with the function that regenerates it, so
+// the CLI can enumerate everything.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) (*report.Table, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "A2A equal-sized inputs: reducers vs capacity", T1EqualSized},
+		{"T2", "A2A different-sized inputs: algorithm comparison across distributions", T2DifferentSized},
+		{"T3", "Communication cost vs capacity (tradeoff iii)", T3CommunicationTradeoff},
+		{"T4", "Parallelism vs capacity (tradeoff ii)", T4ParallelismTradeoff},
+		{"T5", "X2Y reducers and communication vs capacity", T5X2YSweep},
+		{"T6", "Skew join end to end: skew sweep vs hash-join baseline", T6SkewJoin},
+		{"T7", "Similarity join end to end: capacity sweep", T7SimilarityJoin},
+		{"T8", "Approximation ratio vs exact optimum on small instances", T8ApproximationRatio},
+		{"T9", "Big-input handling: split algorithm vs greedy", T9BigInputs},
+		{"T10", "Bin-packing policy ablation inside bin-pack-and-pair", T10BinPackAblation},
+		{"T11", "Speedup curves on a simulated cluster (parallelism tradeoff)", T11SpeedupCurves},
+		{"T12", "Redundancy-pruning ablation on top of each algorithm", T12PruningAblation},
+		{"T13", "Medium-sized inputs: Steiner-triple cover vs pair-per-reducer", T13MediumInputs},
+	}
+}

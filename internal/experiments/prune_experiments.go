@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/a2a"
+	"repro/internal/binpack"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+	"repro/internal/x2y"
+)
+
+// T12PruningAblation measures how much the PruneRedundant post-pass saves on
+// top of each constructive algorithm, for both problems. The constructive
+// algorithms deliberately over-cover some pairs (bins sharing a reducer with
+// several partners); pruning quantifies how much of that redundancy is
+// recoverable without re-planning.
+func T12PruningAblation(p Params) (*report.Table, error) {
+	p = p.normalize()
+	tbl := report.NewTable(
+		"T12: redundancy-pruning ablation (reducers / communication before and after PruneRedundant)",
+		"problem", "algorithm", "reducers", "pruned_reducers", "comm", "pruned_comm", "comm_saving")
+
+	// A2A instance: moderate size so the greedy baseline stays fast.
+	m := p.scaled(300, 16)
+	q := core.Size(120)
+	set, err := workload.InputSet(sizeSpecFor(workload.Zipf, 30), m, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	a2aBuilders := []struct {
+		name  string
+		build func() (*core.MappingSchema, error)
+	}{
+		{"bin-pack-pair", func() (*core.MappingSchema, error) { return a2a.BinPackPair(set, q, binpack.FirstFitDecreasing) }},
+		{"big-small-split", func() (*core.MappingSchema, error) { return a2a.BigSmallSplit(set, q, binpack.FirstFitDecreasing) }},
+		{"greedy", func() (*core.MappingSchema, error) { return a2a.Greedy(set, q) }},
+	}
+	for _, b := range a2aBuilders {
+		ms, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("T12 a2a %s: %w", b.name, err)
+		}
+		pruned := a2a.PruneRedundant(ms, set)
+		if err := pruned.ValidateA2A(set); err != nil {
+			return nil, fmt.Errorf("T12 a2a %s produced an invalid pruned schema: %w", b.name, err)
+		}
+		addPruneRow(tbl, "A2A", b.name, ms, pruned, set.TotalSize())
+	}
+
+	// X2Y instance with heavy inputs on one side (the skew-join shape).
+	nx := p.scaled(60, 6)
+	ny := p.scaled(200, 6)
+	xsSizes, err := workload.Sizes(workload.SizeSpec{Dist: workload.Bimodal, Min: 5, Max: 70, BigFraction: 0.1}, nx, p.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	ysSizes, err := workload.Sizes(workload.SizeSpec{Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.5}, ny, p.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := core.NewInputSet(xsSizes)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := core.NewInputSet(ysSizes)
+	if err != nil {
+		return nil, err
+	}
+	qx := core.Size(120)
+	x2yBuilders := []struct {
+		name  string
+		build func() (*core.MappingSchema, error)
+	}{
+		{"big-small-split", func() (*core.MappingSchema, error) { return x2y.BigSmallSplit(xs, ys, qx, binpack.FirstFitDecreasing) }},
+		{"greedy", func() (*core.MappingSchema, error) { return x2y.Greedy(xs, ys, qx) }},
+	}
+	for _, b := range x2yBuilders {
+		ms, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("T12 x2y %s: %w", b.name, err)
+		}
+		pruned := x2y.PruneRedundant(ms, xs, ys)
+		if err := pruned.ValidateX2Y(xs, ys); err != nil {
+			return nil, fmt.Errorf("T12 x2y %s produced an invalid pruned schema: %w", b.name, err)
+		}
+		addPruneRow(tbl, "X2Y", b.name, ms, pruned, xs.TotalSize()+ys.TotalSize())
+	}
+	return tbl, nil
+}
+
+func addPruneRow(tbl *report.Table, problem, algo string, before, after *core.MappingSchema, total core.Size) {
+	cb := core.SchemaCost(before, total)
+	ca := core.SchemaCost(after, total)
+	saving := 0.0
+	if cb.Communication > 0 {
+		saving = 1 - float64(ca.Communication)/float64(cb.Communication)
+	}
+	tbl.AddRow(problem, algo, cb.Reducers, ca.Reducers, cb.Communication, ca.Communication, saving)
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/a2a"
+	"repro/internal/binpack"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// T13MediumInputs studies the "medium-sized inputs" regime — every input in
+// (q/4, q/3], so a reducer fits three inputs but a q/2 bin fits only one.
+// There the bin-pack-and-pair and grouping constructions degenerate to one
+// pair per reducer, while the Steiner-triple cover packs three inputs per
+// reducer; the experiment quantifies the ~3x gap and checks both against the
+// lower bound.
+func T13MediumInputs(p Params) (*report.Table, error) {
+	p = p.normalize()
+	q := core.Size(120)
+	tbl := report.NewTable(
+		fmt.Sprintf("T13: medium-sized inputs (sizes in (q/4, q/3], q=%d) — triple cover vs pair-per-reducer", q),
+		"m", "sizes", "algorithm", "reducers", "lb_reducers", "ratio", "comm")
+	for _, m := range []int{p.scaled(99, 9), p.scaled(201, 15), p.scaled(501, 21)} {
+		for _, uniform := range []bool{true, false} {
+			var set *core.InputSet
+			var label string
+			var err error
+			if uniform {
+				label = "equal (q/3)"
+				set, err = core.UniformInputSet(m, q/3)
+			} else {
+				label = "mixed (q/4, q/3]"
+				set, err = workload.InputSet(workload.SizeSpec{
+					Dist: workload.Uniform, Min: q/4 + 1, Max: q / 3}, m, p.Seed)
+			}
+			if err != nil {
+				return nil, err
+			}
+			lb := a2a.LowerBounds(set, q)
+
+			triple, err := a2a.TripleCover(set, q)
+			if err != nil {
+				return nil, fmt.Errorf("T13 m=%d %s: %w", m, label, err)
+			}
+			costT := core.SchemaCost(triple, set.TotalSize())
+			tbl.AddRow(m, label, "triple-cover", costT.Reducers, lb.Reducers,
+				ratio(costT.Reducers, lb.Reducers), costT.Communication)
+
+			var pairing *core.MappingSchema
+			if uniform {
+				pairing, err = a2a.EqualSized(set, q)
+			} else {
+				pairing, err = a2a.BinPackPair(set, q, binpack.FirstFitDecreasing)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("T13 m=%d %s pairing: %w", m, label, err)
+			}
+			costP := core.SchemaCost(pairing, set.TotalSize())
+			name := "bin-pack-pair"
+			if uniform {
+				name = "equal-sized-grouping"
+			}
+			tbl.AddRow(m, label, name, costP.Reducers, lb.Reducers,
+				ratio(costP.Reducers, lb.Reducers), costP.Communication)
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+	"repro/internal/x2y"
+)
+
+// T5X2YSweep sweeps the reducer capacity for an asymmetric X2Y instance (a
+// small X side and a larger, skewed Y side, the shape of a skew join) and
+// reports the grid algorithm's reducer count and communication against the
+// lower bounds.
+func T5X2YSweep(p Params) (*report.Table, error) {
+	p = p.normalize()
+	nx := p.scaled(250, 8)
+	ny := p.scaled(750, 8)
+	maxSize := core.Size(30)
+	xs, err := workload.InputSet(sizeSpecFor(workload.Uniform, maxSize), nx, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := workload.InputSet(sizeSpecFor(workload.Zipf, maxSize), ny, p.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("T5: X2Y sweep (|X|=%d uniform, |Y|=%d Zipf, sizes in [1,%d])", nx, ny, maxSize),
+		"q", "reducers", "lb_reducers", "ratio", "comm", "lb_comm", "replication")
+	for _, q := range []core.Size{64, 96, 128, 192, 256, 384, 512} {
+		ms, err := x2y.Solve(xs, ys, q)
+		if err != nil {
+			return nil, fmt.Errorf("T5 q=%d: %w", q, err)
+		}
+		cost := core.SchemaCost(ms, xs.TotalSize()+ys.TotalSize())
+		lb := x2y.LowerBounds(xs, ys, q)
+		tbl.AddRow(q, cost.Reducers, lb.Reducers, ratio(cost.Reducers, lb.Reducers),
+			cost.Communication, lb.Communication, cost.ReplicationRate)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,89 @@
+package mr
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counters aggregates the measurements of one job run. All byte figures use
+// Pair.Size (key bytes + value bytes), matching the paper's notion of
+// communication cost: the total amount of data transmitted from the map phase
+// to the reduce phase.
+type Counters struct {
+	// MapInputRecords is the number of input records fed to mappers.
+	MapInputRecords int64
+	// MapOutputRecords and MapOutputBytes describe what the mappers emitted
+	// before combining.
+	MapOutputRecords int64
+	MapOutputBytes   int64
+	// ShuffleRecords and ShuffleBytes describe what actually crossed the
+	// map-to-reduce boundary (after the optional combiner). ShuffleBytes is
+	// the communication cost.
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	// ReduceInputKeys is the number of distinct keys seen by reducers.
+	ReduceInputKeys int64
+	// ReduceOutputRecords and ReduceOutputBytes describe the reducer output.
+	ReduceOutputRecords int64
+	ReduceOutputBytes   int64
+	// ReducerLoads holds the shuffle bytes received by each reduce
+	// partition, indexed by partition.
+	ReducerLoads []int64
+	// MaxReducerLoad is the largest entry of ReducerLoads.
+	MaxReducerLoad int64
+	// MapWall and ReduceWall are the wall-clock durations of the two phases.
+	MapWall    time.Duration
+	ReduceWall time.Duration
+}
+
+// CommunicationCost returns the shuffle volume in bytes — the quantity the
+// paper's schemas minimise for a given number of reducers.
+func (c *Counters) CommunicationCost() int64 { return c.ShuffleBytes }
+
+// ReplicationRate returns the shuffle volume divided by the map input volume
+// approximated by MapOutputBytes when no combiner ran; callers that know the
+// true input size should divide themselves.
+func (c *Counters) ReplicationRate() float64 {
+	if c.MapOutputBytes == 0 {
+		return 0
+	}
+	return float64(c.ShuffleBytes) / float64(c.MapOutputBytes)
+}
+
+// LoadImbalance returns MaxReducerLoad divided by the mean reducer load; 1.0
+// is perfectly balanced. It returns 0 when nothing was shuffled.
+func (c *Counters) LoadImbalance() float64 {
+	if len(c.ReducerLoads) == 0 || c.ShuffleBytes == 0 {
+		return 0
+	}
+	mean := float64(c.ShuffleBytes) / float64(len(c.ReducerLoads))
+	if mean == 0 {
+		return 0
+	}
+	return float64(c.MaxReducerLoad) / mean
+}
+
+// String renders the headline counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf("mapIn=%d shuffle=%dB reducers=%d maxLoad=%dB out=%d",
+		c.MapInputRecords, c.ShuffleBytes, len(c.ReducerLoads), c.MaxReducerLoad, c.ReduceOutputRecords)
+}
+
+// Result is the outcome of a job run: the emitted output records grouped by
+// reduce partition, plus counters.
+type Result struct {
+	// Output holds the reducer-emitted records per partition.
+	Output [][][]byte
+	// Counters are the run's measurements.
+	Counters Counters
+}
+
+// FlatOutput returns all output records of all partitions, partition by
+// partition.
+func (r *Result) FlatOutput() [][]byte {
+	var out [][]byte
+	for _, part := range r.Output {
+		out = append(out, part...)
+	}
+	return out
+}

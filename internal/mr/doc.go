@@ -1,0 +1,14 @@
+// Package mr is an in-memory MapReduce engine used as the execution
+// substrate for the paper's applications (similarity join and skew join).
+//
+// The paper assumes a production MapReduce stack; its cost model only
+// depends on the amount of data shipped from mappers to reducers and on the
+// per-reducer load, which this engine measures byte-accurately through its
+// Counters. Map tasks and reduce tasks run on a configurable number of
+// goroutine workers, keys are partitioned with a pluggable partitioner, and
+// execution can be made fully deterministic for tests.
+//
+// The engine deliberately keeps everything in memory: the reproduction's
+// experiments are about the number of reducers, the communication volume,
+// and the load balance of mapping schemas — not about disk formats.
+package mr

@@ -1,0 +1,69 @@
+package mr
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Mapping-schema-driven jobs: the paper's algorithms decide, ahead of time,
+// which reducers every input must be replicated to. SchemaPartitioner and
+// ReducerKey make the engine follow such a schema exactly: mappers emit one
+// pair per (input, reducer) assignment, keyed by the reducer index, and the
+// partitioner routes the pair to exactly that reduce partition.
+
+// ReducerKey encodes a reducer index as a shuffle key.
+func ReducerKey(r int) string { return "r" + strconv.Itoa(r) }
+
+// ParseReducerKey decodes a key produced by ReducerKey.
+func ParseReducerKey(key string) (int, error) {
+	if len(key) < 2 || key[0] != 'r' {
+		return 0, fmt.Errorf("mr: %q is not a reducer key", key)
+	}
+	return strconv.Atoi(key[1:])
+}
+
+// SchemaPartitioner routes pairs keyed with ReducerKey to the matching
+// partition. Pairs with other keys fall back to the hash partitioner.
+func SchemaPartitioner(key string, n int) int {
+	if r, err := ParseReducerKey(key); err == nil && r >= 0 && r < n {
+		return r
+	}
+	return HashPartitioner(key, n)
+}
+
+// AssignmentsA2A returns, for every input ID of an A2A schema, the list of
+// reducer indexes the input must be sent to. Mappers use this to emit one
+// copy of the input per assigned reducer.
+func AssignmentsA2A(ms *core.MappingSchema, numInputs int) [][]int {
+	out := make([][]int, numInputs)
+	for r, red := range ms.Reducers {
+		for _, id := range red.Inputs {
+			if id >= 0 && id < numInputs {
+				out[id] = append(out[id], r)
+			}
+		}
+	}
+	return out
+}
+
+// AssignmentsX2Y returns the per-input reducer assignments for an X2Y schema,
+// one slice per side.
+func AssignmentsX2Y(ms *core.MappingSchema, numX, numY int) (x, y [][]int) {
+	x = make([][]int, numX)
+	y = make([][]int, numY)
+	for r, red := range ms.Reducers {
+		for _, id := range red.XInputs {
+			if id >= 0 && id < numX {
+				x[id] = append(x[id], r)
+			}
+		}
+		for _, id := range red.YInputs {
+			if id >= 0 && id < numY {
+				y[id] = append(y[id], r)
+			}
+		}
+	}
+	return x, y
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := NewTable("T1: demo", "q", "reducers", "ratio")
+	tbl.AddRow(4, 100, 1.5)
+	tbl.AddRow(8, 25, 1.25)
+	out := tbl.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Errorf("missing title in %q", out)
+	}
+	if !strings.Contains(out, "reducers") || !strings.Contains(out, "1.500") {
+		t.Errorf("missing cells in %q", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tbl.NumRows())
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines: %q", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow("x", 2)
+	tbl.AddRow(3.5) // short row padded
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,2\n3.500,\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableRowPaddingAndTruncation(t *testing.T) {
+	tbl := NewTable("", "only")
+	tbl.AddRow("a", "extra", "ignored")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "only\na\n" {
+		t.Errorf("CSV = %q", b.String())
+	}
+}
+
+func TestPad(t *testing.T) {
+	if pad("ab", 4) != "ab  " {
+		t.Errorf("pad short = %q", pad("ab", 4))
+	}
+	if pad("abcdef", 4) != "abcdef" {
+		t.Errorf("pad long = %q", pad("abcdef", 4))
+	}
+}
+
+func TestFormatCellFloat32(t *testing.T) {
+	if got := formatCell(float32(2)); got != "2.000" {
+		t.Errorf("formatCell(float32) = %q", got)
+	}
+	if got := formatCell("s"); got != "s" {
+		t.Errorf("formatCell(string) = %q", got)
+	}
+}

@@ -1,0 +1,34 @@
+package simjoin_test
+
+import (
+	"fmt"
+
+	"repro/internal/simjoin"
+	"repro/internal/workload"
+)
+
+// Run an all-pairs similarity join over four tiny documents with a reducer
+// capacity that forces the corpus to be split across reducers.
+func ExampleRun() {
+	docs := []workload.Document{
+		{ID: 0, Terms: []string{"mapreduce", "reducer", "capacity"}},
+		{ID: 1, Terms: []string{"mapreduce", "reducer", "bins"}},
+		{ID: 2, Terms: []string{"similarity", "join", "pairs"}},
+		{ID: 3, Terms: []string{"similarity", "join", "capacity"}},
+	}
+	res, err := simjoin.Run(docs, simjoin.Config{
+		Capacity:   64, // bytes of document text per reducer
+		Threshold:  0.45,
+		Similarity: simjoin.Jaccard,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, p := range res.Pairs {
+		fmt.Printf("doc %d ~ doc %d (%.2f)\n", p.I, p.J, p.Score)
+	}
+	// Output:
+	// doc 0 ~ doc 1 (0.50)
+	// doc 2 ~ doc 3 (0.50)
+}

@@ -1,0 +1,126 @@
+// Package simjoin implements the similarity-join application of the paper's
+// A2A problem on top of the in-memory MapReduce engine: every pair of
+// documents must be compared, so the documents (the inputs) are assigned to
+// reducers with an A2A mapping schema and each reducer compares the pairs it
+// is responsible for.
+package simjoin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Similarity identifies a similarity function over term bags.
+type Similarity int
+
+const (
+	// Jaccard is |A ∩ B| / |A ∪ B| over term sets.
+	Jaccard Similarity = iota
+	// Cosine is the cosine of the term-frequency vectors.
+	Cosine
+)
+
+// String implements fmt.Stringer.
+func (s Similarity) String() string {
+	switch s {
+	case Jaccard:
+		return "jaccard"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Similarity(%d)", int(s))
+	}
+}
+
+// Score computes the selected similarity of two term bags.
+func (s Similarity) Score(a, b []string) float64 {
+	switch s {
+	case Cosine:
+		return cosine(a, b)
+	default:
+		return jaccard(a, b)
+	}
+}
+
+// jaccard computes |A ∩ B| / |A ∪ B| over the distinct terms of a and b.
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	setA := make(map[string]struct{}, len(a))
+	for _, t := range a {
+		setA[t] = struct{}{}
+	}
+	setB := make(map[string]struct{}, len(b))
+	for _, t := range b {
+		setB[t] = struct{}{}
+	}
+	inter := 0
+	for t := range setA {
+		if _, ok := setB[t]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// cosine computes the cosine similarity of the term-frequency vectors of a
+// and b.
+func cosine(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		if len(a) == 0 && len(b) == 0 {
+			return 1
+		}
+		return 0
+	}
+	fa := termFreq(a)
+	fb := termFreq(b)
+	var dot, na, nb float64
+	for t, ca := range fa {
+		if cb, ok := fb[t]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+		na += float64(ca) * float64(ca)
+	}
+	for _, cb := range fb {
+		nb += float64(cb) * float64(cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func termFreq(terms []string) map[string]int {
+	f := make(map[string]int, len(terms))
+	for _, t := range terms {
+		f[t]++
+	}
+	return f
+}
+
+// Pair is one output of the similarity join: a pair of document IDs (I < J)
+// with their similarity score.
+type Pair struct {
+	I, J  int
+	Score float64
+}
+
+// SortPairs orders pairs by (I, J) for deterministic comparison in tests and
+// reports.
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+}

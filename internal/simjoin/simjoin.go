@@ -1,0 +1,277 @@
+package simjoin
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/a2a"
+	"repro/internal/binpack"
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/workload"
+)
+
+// Config configures a similarity-join run.
+type Config struct {
+	// Capacity is the reducer capacity q in bytes of document text.
+	Capacity core.Size
+	// Threshold is the similarity threshold t; pairs scoring >= t are
+	// reported.
+	Threshold float64
+	// Similarity selects the similarity function (Jaccard by default).
+	Similarity Similarity
+	// Policy selects the bin-packing heuristic of the mapping-schema
+	// algorithm; the zero value means First-Fit-Decreasing.
+	Policy binpack.Policy
+	// PolicySet marks Policy as explicitly chosen (so First-Fit, the zero
+	// value, can be requested).
+	PolicySet bool
+	// Workers bounds reduce-phase parallelism; 0 means one worker per
+	// reducer.
+	Workers int
+}
+
+// Result is the outcome of a similarity-join run.
+type Result struct {
+	// Pairs are the similar pairs found, sorted by document IDs.
+	Pairs []Pair
+	// Schema is the A2A mapping schema that drove the run.
+	Schema *core.MappingSchema
+	// SchemaCost prices the schema in the paper's terms (the communication
+	// figure counts document bytes, excluding key overhead).
+	SchemaCost core.Cost
+	// Counters are the engine's measurements (shuffle bytes include the
+	// reducer-key overhead).
+	Counters mr.Counters
+	// Bounds are the instance's lower bounds, for reporting.
+	Bounds a2a.Bounds
+}
+
+// ErrNoDocuments is returned when Run is called with an empty corpus.
+var ErrNoDocuments = errors.New("simjoin: no documents")
+
+// Run executes the similarity join over the corpus on the MapReduce engine,
+// using an A2A mapping schema to decide which reducers every document is
+// replicated to.
+func Run(docs []workload.Document, cfg Config) (*Result, error) {
+	if len(docs) == 0 {
+		return nil, ErrNoDocuments
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("simjoin: capacity must be positive, got %d", cfg.Capacity)
+	}
+	policy := cfg.Policy
+	if !cfg.PolicySet && policy == binpack.FirstFit {
+		policy = binpack.FirstFitDecreasing
+	}
+
+	// The inputs of the A2A instance are the documents; their sizes are the
+	// document sizes in bytes.
+	sizes := make([]core.Size, len(docs))
+	for i, d := range docs {
+		sizes[i] = core.Size(d.SizeBytes())
+		if sizes[i] == 0 {
+			sizes[i] = 1 // empty documents still occupy a record
+		}
+	}
+	set, err := core.NewInputSet(sizes)
+	if err != nil {
+		return nil, fmt.Errorf("simjoin: building the input set: %w", err)
+	}
+	schema, err := a2a.SolveWithOptions(set, cfg.Capacity, a2a.Options{Policy: policy, PreferEqualSized: true})
+	if err != nil {
+		return nil, fmt.Errorf("simjoin: building the mapping schema: %w", err)
+	}
+
+	res := &Result{
+		Schema:     schema,
+		SchemaCost: core.SchemaCost(schema, set.TotalSize()),
+		Bounds:     a2a.LowerBounds(set, cfg.Capacity),
+	}
+
+	if schema.NumReducers() == 0 {
+		// A single document: nothing to compare.
+		return res, nil
+	}
+
+	assignments := mr.AssignmentsA2A(schema, len(docs))
+	records := make([][]byte, len(docs))
+	for i, d := range docs {
+		records[i] = encodeDocument(d)
+	}
+
+	job := &mr.Job{
+		Name:              "similarity-join",
+		Mapper:            replicatingMapper(assignments),
+		Reducer:           comparingReducer(cfg, assignments),
+		NumReducers:       schema.NumReducers(),
+		Partitioner:       mr.SchemaPartitioner,
+		ReduceParallelism: cfg.Workers,
+	}
+	runRes, err := mr.NewEngine().Run(job, records)
+	if err != nil {
+		return nil, fmt.Errorf("simjoin: running the job: %w", err)
+	}
+	res.Counters = runRes.Counters
+
+	for _, rec := range runRes.FlatOutput() {
+		p, err := decodePair(rec)
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs = append(res.Pairs, p)
+	}
+	SortPairs(res.Pairs)
+	return res, nil
+}
+
+// replicatingMapper emits one copy of the document per reducer the mapping
+// schema assigned it to.
+func replicatingMapper(assignments [][]int) mr.Mapper {
+	return mr.MapperFunc(func(record []byte, emit func(mr.Pair)) error {
+		id, _, err := decodeDocumentHeader(record)
+		if err != nil {
+			return err
+		}
+		if id < 0 || id >= len(assignments) {
+			return fmt.Errorf("simjoin: document ID %d out of range", id)
+		}
+		for _, r := range assignments[id] {
+			emit(mr.Pair{Key: mr.ReducerKey(r), Value: record})
+		}
+		return nil
+	})
+}
+
+// comparingReducer compares every pair of documents it receives and emits the
+// pairs whose similarity reaches the threshold. To avoid emitting the same
+// pair from several reducers (the schema may assign a pair to more than one
+// reducer in common), only the lowest-indexed reducer that holds both
+// documents reports the pair.
+func comparingReducer(cfg Config, assignments [][]int) mr.Reducer {
+	return mr.ReducerFunc(func(key string, values [][]byte, emit func([]byte)) error {
+		reducerIdx, err := mr.ParseReducerKey(key)
+		if err != nil {
+			return fmt.Errorf("simjoin: unexpected reducer key %q: %w", key, err)
+		}
+		docs := make([]workload.Document, 0, len(values))
+		for _, v := range values {
+			d, err := decodeDocument(v)
+			if err != nil {
+				return err
+			}
+			docs = append(docs, d)
+		}
+		for i := 0; i < len(docs); i++ {
+			for j := i + 1; j < len(docs); j++ {
+				a, b := docs[i], docs[j]
+				if a.ID == b.ID {
+					continue
+				}
+				if owner(assignments, a.ID, b.ID) != reducerIdx {
+					continue
+				}
+				score := cfg.Similarity.Score(a.Terms, b.Terms)
+				if score >= cfg.Threshold {
+					lo, hi := a.ID, b.ID
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					emit(encodePair(Pair{I: lo, J: hi, Score: score}))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// owner returns the smallest reducer index that holds both documents; the
+// assignment lists are ascending, so a merge scan finds it.
+func owner(assignments [][]int, a, b int) int {
+	la, lb := assignments[a], assignments[b]
+	i, j := 0, 0
+	for i < len(la) && j < len(lb) {
+		switch {
+		case la[i] == lb[j]:
+			return la[i]
+		case la[i] < lb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return -1
+}
+
+// NestedLoopReference computes the similar pairs with a plain in-memory
+// nested loop; it is the ground truth the MapReduce run is verified against.
+func NestedLoopReference(docs []workload.Document, cfg Config) []Pair {
+	var out []Pair
+	for i := 0; i < len(docs); i++ {
+		for j := i + 1; j < len(docs); j++ {
+			score := cfg.Similarity.Score(docs[i].Terms, docs[j].Terms)
+			if score >= cfg.Threshold {
+				out = append(out, Pair{I: docs[i].ID, J: docs[j].ID, Score: score})
+			}
+		}
+	}
+	SortPairs(out)
+	return out
+}
+
+// Record encoding: "id|term term term ...".
+
+func encodeDocument(d workload.Document) []byte {
+	return []byte(strconv.Itoa(d.ID) + "|" + strings.Join(d.Terms, " "))
+}
+
+func decodeDocumentHeader(rec []byte) (id int, rest string, err error) {
+	s := string(rec)
+	cut := strings.IndexByte(s, '|')
+	if cut < 0 {
+		return 0, "", fmt.Errorf("simjoin: malformed document record %q", s)
+	}
+	id, err = strconv.Atoi(s[:cut])
+	if err != nil {
+		return 0, "", fmt.Errorf("simjoin: malformed document ID in %q: %w", s, err)
+	}
+	return id, s[cut+1:], nil
+}
+
+func decodeDocument(rec []byte) (workload.Document, error) {
+	id, rest, err := decodeDocumentHeader(rec)
+	if err != nil {
+		return workload.Document{}, err
+	}
+	var terms []string
+	if rest != "" {
+		terms = strings.Fields(rest)
+	}
+	return workload.Document{ID: id, Terms: terms}, nil
+}
+
+func encodePair(p Pair) []byte {
+	return []byte(fmt.Sprintf("%d,%d,%.6f", p.I, p.J, p.Score))
+}
+
+func decodePair(rec []byte) (Pair, error) {
+	parts := strings.Split(string(rec), ",")
+	if len(parts) != 3 {
+		return Pair{}, fmt.Errorf("simjoin: malformed pair record %q", rec)
+	}
+	i, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return Pair{}, fmt.Errorf("simjoin: malformed pair record %q: %w", rec, err)
+	}
+	j, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Pair{}, fmt.Errorf("simjoin: malformed pair record %q: %w", rec, err)
+	}
+	score, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return Pair{}, fmt.Errorf("simjoin: malformed pair record %q: %w", rec, err)
+	}
+	return Pair{I: i, J: j, Score: score}, nil
+}

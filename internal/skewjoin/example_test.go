@@ -1,0 +1,40 @@
+package skewjoin_test
+
+import (
+	"fmt"
+
+	"repro/internal/skewjoin"
+	"repro/internal/workload"
+)
+
+// Join two tiny relations on a key that is too heavy for one reducer: the
+// planner detects the heavy hitter, splits its tuples into blocks, and covers
+// every block pair with an X2Y mapping schema. The output matches the
+// reference hash join.
+func ExampleRun() {
+	x := &workload.Relation{Name: "X"}
+	y := &workload.Relation{Name: "Y"}
+	for i := 0; i < 8; i++ {
+		x.Tuples = append(x.Tuples, workload.Tuple{Key: "hot", Payload: fmt.Sprintf("a%02d", i)})
+		y.Tuples = append(y.Tuples, workload.Tuple{Key: "hot", Payload: fmt.Sprintf("c%02d", i)})
+	}
+	x.Tuples = append(x.Tuples, workload.Tuple{Key: "cold", Payload: "a99"})
+	y.Tuples = append(y.Tuples, workload.Tuple{Key: "cold", Payload: "c99"})
+
+	res, err := skewjoin.Run(x, y, skewjoin.Config{
+		Capacity:  48, // bytes of tuples per reducer: far below the hot key's volume
+		BlockSize: 14,
+		CountOnly: true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("heavy hitters:", res.Plan.HeavyKeys)
+	fmt.Println("output rows:", res.JoinedCount)
+	fmt.Println("reference rows:", skewjoin.ReferenceJoinCount(x, y))
+	// Output:
+	// heavy hitters: [hot]
+	// output rows: 65
+	// reference rows: 65
+}

@@ -1,0 +1,247 @@
+package skewjoin
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mr"
+	"repro/internal/workload"
+)
+
+// JoinedTuple is one output row 〈a, b, c〉 of the join X(A,B) ⋈ Y(B,C).
+type JoinedTuple struct {
+	A, B, C string
+}
+
+// Result is the outcome of a skew-join run.
+type Result struct {
+	// Plan is the reducer plan that drove the run.
+	Plan *Plan
+	// Joined holds the output rows when Config.CountOnly is false.
+	Joined []JoinedTuple
+	// JoinedCount is the number of output rows (always filled in).
+	JoinedCount int64
+	// Counters are the engine's measurements.
+	Counters mr.Counters
+}
+
+// ErrEmptyRelation is returned when either input relation has no tuples.
+var ErrEmptyRelation = errors.New("skewjoin: empty input relation")
+
+// Run executes the skew join of x and y on the MapReduce engine under the
+// given configuration.
+func Run(x, y *workload.Relation, cfg Config) (*Result, error) {
+	if x == nil || y == nil || len(x.Tuples) == 0 || len(y.Tuples) == 0 {
+		return nil, ErrEmptyRelation
+	}
+	plan, err := BuildPlan(x, y, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan}
+	if plan.NumReducers == 0 {
+		// No key appears on both sides: the join is empty.
+		return res, nil
+	}
+
+	records := encodeRelations(x, y)
+	job := &mr.Job{
+		Name:              "skew-join",
+		Mapper:            planMapper(plan),
+		Reducer:           joinReducer(cfg),
+		NumReducers:       plan.NumReducers,
+		Partitioner:       mr.SchemaPartitioner,
+		ReduceParallelism: cfg.Workers,
+	}
+	runRes, err := mr.NewEngine().Run(job, records)
+	if err != nil {
+		return nil, fmt.Errorf("skewjoin: running the job: %w", err)
+	}
+	res.Counters = runRes.Counters
+
+	for _, rec := range runRes.FlatOutput() {
+		if cfg.CountOnly {
+			n, err := strconv.ParseInt(string(rec), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("skewjoin: malformed count record %q: %w", rec, err)
+			}
+			res.JoinedCount += n
+			continue
+		}
+		jt, err := decodeJoined(rec)
+		if err != nil {
+			return nil, err
+		}
+		res.Joined = append(res.Joined, jt)
+		res.JoinedCount++
+	}
+	return res, nil
+}
+
+// Record encoding.
+//
+// Input records carry the relation side and the tuple's index within its
+// relation so the mapper can look up the planned destinations:
+//
+//	"X|<tupleIndex>|<key>|<payload>"
+//
+// Shuffle values drop the index (the reducer does not need it):
+//
+//	"X|<key>|<payload>"
+
+func encodeRelations(x, y *workload.Relation) [][]byte {
+	records := make([][]byte, 0, len(x.Tuples)+len(y.Tuples))
+	for i, t := range x.Tuples {
+		records = append(records, encodeInput('X', i, t))
+	}
+	for i, t := range y.Tuples {
+		records = append(records, encodeInput('Y', i, t))
+	}
+	return records
+}
+
+func encodeInput(side byte, idx int, t workload.Tuple) []byte {
+	return []byte(string(side) + "|" + strconv.Itoa(idx) + "|" + t.Key + "|" + t.Payload)
+}
+
+func decodeInput(rec []byte) (side byte, idx int, key, payload string, err error) {
+	parts := strings.SplitN(string(rec), "|", 4)
+	if len(parts) != 4 || len(parts[0]) != 1 {
+		return 0, 0, "", "", fmt.Errorf("skewjoin: malformed input record %q", rec)
+	}
+	idx, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, "", "", fmt.Errorf("skewjoin: malformed tuple index in %q: %w", rec, err)
+	}
+	return parts[0][0], idx, parts[2], parts[3], nil
+}
+
+func encodeShuffleValue(side byte, key, payload string) []byte {
+	return []byte(string(side) + "|" + key + "|" + payload)
+}
+
+func decodeShuffleValue(v []byte) (side byte, key, payload string, err error) {
+	parts := strings.SplitN(string(v), "|", 3)
+	if len(parts) != 3 || len(parts[0]) != 1 {
+		return 0, "", "", fmt.Errorf("skewjoin: malformed shuffle value %q", v)
+	}
+	return parts[0][0], parts[1], parts[2], nil
+}
+
+func encodeJoined(t JoinedTuple) []byte {
+	return []byte(t.A + "|" + t.B + "|" + t.C)
+}
+
+func decodeJoined(rec []byte) (JoinedTuple, error) {
+	parts := strings.SplitN(string(rec), "|", 3)
+	if len(parts) != 3 {
+		return JoinedTuple{}, fmt.Errorf("skewjoin: malformed joined record %q", rec)
+	}
+	return JoinedTuple{A: parts[0], B: parts[1], C: parts[2]}, nil
+}
+
+// planMapper replicates every tuple to the reducers the plan assigned it to.
+func planMapper(plan *Plan) mr.Mapper {
+	return mr.MapperFunc(func(record []byte, emit func(mr.Pair)) error {
+		side, idx, key, payload, err := decodeInput(record)
+		if err != nil {
+			return err
+		}
+		var dests []int
+		switch side {
+		case 'X':
+			if idx < 0 || idx >= len(plan.xDest) {
+				return fmt.Errorf("skewjoin: X tuple index %d out of range", idx)
+			}
+			dests = plan.xDest[idx]
+		case 'Y':
+			if idx < 0 || idx >= len(plan.yDest) {
+				return fmt.Errorf("skewjoin: Y tuple index %d out of range", idx)
+			}
+			dests = plan.yDest[idx]
+		default:
+			return fmt.Errorf("skewjoin: unknown relation side %q", string(side))
+		}
+		value := encodeShuffleValue(side, key, payload)
+		for _, r := range dests {
+			emit(mr.Pair{Key: mr.ReducerKey(r), Value: value})
+		}
+		return nil
+	})
+}
+
+// joinReducer joins the X and Y tuples it receives, key by key.
+func joinReducer(cfg Config) mr.Reducer {
+	return mr.ReducerFunc(func(_ string, values [][]byte, emit func([]byte)) error {
+		xByKey := map[string][]string{}
+		yByKey := map[string][]string{}
+		// Keys must be emitted in a deterministic order.
+		var keys []string
+		seen := map[string]bool{}
+		for _, v := range values {
+			side, key, payload, err := decodeShuffleValue(v)
+			if err != nil {
+				return err
+			}
+			if !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
+			switch side {
+			case 'X':
+				xByKey[key] = append(xByKey[key], payload)
+			case 'Y':
+				yByKey[key] = append(yByKey[key], payload)
+			default:
+				return fmt.Errorf("skewjoin: unknown side %q in shuffle value", string(side))
+			}
+		}
+		for _, key := range keys {
+			xv, yv := xByKey[key], yByKey[key]
+			if len(xv) == 0 || len(yv) == 0 {
+				continue
+			}
+			if cfg.CountOnly {
+				emit([]byte(strconv.FormatInt(int64(len(xv))*int64(len(yv)), 10)))
+				continue
+			}
+			for _, a := range xv {
+				for _, c := range yv {
+					emit(encodeJoined(JoinedTuple{A: a, B: key, C: c}))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// ReferenceJoin computes the join with an in-memory hash join; it is the
+// ground truth the MapReduce run is verified against.
+func ReferenceJoin(x, y *workload.Relation) []JoinedTuple {
+	yByKey := map[string][]string{}
+	for _, t := range y.Tuples {
+		yByKey[t.Key] = append(yByKey[t.Key], t.Payload)
+	}
+	var out []JoinedTuple
+	for _, t := range x.Tuples {
+		for _, c := range yByKey[t.Key] {
+			out = append(out, JoinedTuple{A: t.Payload, B: t.Key, C: c})
+		}
+	}
+	return out
+}
+
+// ReferenceJoinCount returns only the output cardinality of the join.
+func ReferenceJoinCount(x, y *workload.Relation) int64 {
+	yCounts := map[string]int64{}
+	for _, t := range y.Tuples {
+		yCounts[t.Key]++
+	}
+	var n int64
+	for _, t := range x.Tuples {
+		n += yCounts[t.Key]
+	}
+	return n
+}

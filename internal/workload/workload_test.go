@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSizesConstant(t *testing.T) {
+	sizes, err := Sizes(SizeSpec{Dist: Constant, Min: 5, Max: 5}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sizes {
+		if s != 5 {
+			t.Fatalf("constant sizes not constant: %v", sizes)
+		}
+	}
+}
+
+func TestSizesBoundsRespected(t *testing.T) {
+	for _, dist := range Distributions() {
+		spec := SizeSpec{Dist: dist, Min: 3, Max: 40, Skew: 1.5, Mean: 10, BigFraction: 0.1}
+		sizes, err := Sizes(spec, 500, 42)
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if len(sizes) != 500 {
+			t.Fatalf("%v: got %d sizes", dist, len(sizes))
+		}
+		for _, s := range sizes {
+			if s < 3 || s > 40 {
+				t.Fatalf("%v produced out-of-range size %d", dist, s)
+			}
+		}
+	}
+}
+
+func TestSizesDeterministic(t *testing.T) {
+	spec := SizeSpec{Dist: Zipf, Min: 1, Max: 100, Skew: 1.3}
+	a, err := Sizes(spec, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sizes(spec, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different sizes")
+	}
+	c, _ := Sizes(spec, 200, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical sizes (suspicious)")
+	}
+}
+
+func TestSizesValidation(t *testing.T) {
+	if _, err := Sizes(SizeSpec{Dist: Uniform, Min: 0, Max: 5}, 10, 1); err == nil {
+		t.Error("accepted Min=0")
+	}
+	if _, err := Sizes(SizeSpec{Dist: Uniform, Min: 5, Max: 2}, 10, 1); err == nil {
+		t.Error("accepted Max < Min")
+	}
+	if _, err := Sizes(SizeSpec{Dist: Uniform, Min: 1, Max: 2, BigFraction: 2}, 10, 1); err == nil {
+		t.Error("accepted BigFraction > 1")
+	}
+	if _, err := Sizes(SizeSpec{Dist: Uniform, Min: 1, Max: 2}, 0, 1); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := Sizes(SizeSpec{Dist: Distribution(99), Min: 1, Max: 2}, 3, 1); err == nil {
+		t.Error("accepted unknown distribution")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for _, d := range Distributions() {
+		if strings.HasPrefix(d.String(), "Distribution(") {
+			t.Errorf("distribution %d has no name", int(d))
+		}
+	}
+	if !strings.Contains(Distribution(42).String(), "42") {
+		t.Error("unknown distribution String()")
+	}
+}
+
+func TestInputSetHelper(t *testing.T) {
+	set, err := InputSet(SizeSpec{Dist: Uniform, Min: 1, Max: 9}, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 50 {
+		t.Errorf("Len = %d, want 50", set.Len())
+	}
+	if set.MinSize() < 1 || set.MaxSize() > 9 {
+		t.Errorf("sizes out of range: min=%d max=%d", set.MinSize(), set.MaxSize())
+	}
+	if _, err := InputSet(SizeSpec{Dist: Uniform, Min: 0, Max: 9}, 5, 3); err == nil {
+		t.Error("InputSet accepted an invalid spec")
+	}
+}
+
+func TestBimodalProducesBothModes(t *testing.T) {
+	sizes, err := Sizes(SizeSpec{Dist: Bimodal, Min: 1, Max: 100, BigFraction: 0.2}, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := 0, 0
+	for _, s := range sizes {
+		switch s {
+		case 1:
+			small++
+		case 100:
+			big++
+		default:
+			t.Fatalf("bimodal produced a middle size %d", s)
+		}
+	}
+	if small == 0 || big == 0 {
+		t.Errorf("bimodal produced %d small and %d big", small, big)
+	}
+	if big > small {
+		t.Errorf("bimodal with 20%% big fraction produced more big (%d) than small (%d)", big, small)
+	}
+}
+
+func TestZipfSkewsSmall(t *testing.T) {
+	sizes, err := Sizes(SizeSpec{Dist: Zipf, Min: 1, Max: 1000, Skew: 2.0}, 2000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum core.Size
+	atMin := 0
+	for _, s := range sizes {
+		sum += s
+		if s == 1 {
+			atMin++
+		}
+	}
+	mean := float64(sum) / float64(len(sizes))
+	if mean > 100 {
+		t.Errorf("zipf mean %v looks uniform, expected concentration near Min", mean)
+	}
+	if atMin < len(sizes)/4 {
+		t.Errorf("only %d of %d sizes at the minimum; zipf should concentrate there", atMin, len(sizes))
+	}
+}
+
+func TestDocuments(t *testing.T) {
+	spec := CorpusSpec{NumDocs: 100, VocabularySize: 500, MinTerms: 5, MaxTerms: 20}
+	docs, err := Documents(spec, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 100 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	for i, d := range docs {
+		if d.ID != i {
+			t.Errorf("doc %d has ID %d", i, d.ID)
+		}
+		if len(d.Terms) < 5 || len(d.Terms) > 20 {
+			t.Errorf("doc %d has %d terms", i, len(d.Terms))
+		}
+		if d.SizeBytes() <= 0 {
+			t.Errorf("doc %d has non-positive size", i)
+		}
+	}
+	again, _ := Documents(spec, 13)
+	if !reflect.DeepEqual(docs, again) {
+		t.Error("same seed produced different corpora")
+	}
+}
+
+func TestDocumentsValidation(t *testing.T) {
+	bad := []CorpusSpec{
+		{NumDocs: 0, VocabularySize: 10, MinTerms: 1, MaxTerms: 2},
+		{NumDocs: 5, VocabularySize: 0, MinTerms: 1, MaxTerms: 2},
+		{NumDocs: 5, VocabularySize: 10, MinTerms: 0, MaxTerms: 2},
+		{NumDocs: 5, VocabularySize: 10, MinTerms: 3, MaxTerms: 2},
+	}
+	for i, spec := range bad {
+		if _, err := Documents(spec, 1); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+func TestGenerateRelation(t *testing.T) {
+	spec := RelationSpec{Name: "X", NumTuples: 1000, NumKeys: 50, Skew: 1.2, PayloadBytes: 16}
+	rel, err := GenerateRelation(spec, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel.Tuples) != 1000 {
+		t.Fatalf("got %d tuples", len(rel.Tuples))
+	}
+	if rel.Name != "X" {
+		t.Errorf("Name = %q", rel.Name)
+	}
+	counts := rel.KeyCounts()
+	if len(counts) > 50 {
+		t.Errorf("more distinct keys (%d) than NumKeys", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 1000 {
+		t.Errorf("key counts sum to %d", total)
+	}
+	sizes := rel.KeySizes()
+	sizeTotal := 0
+	for _, s := range sizes {
+		sizeTotal += s
+	}
+	if sizeTotal != rel.SizeBytes() {
+		t.Errorf("KeySizes sum %d != SizeBytes %d", sizeTotal, rel.SizeBytes())
+	}
+	for _, tp := range rel.Tuples[:10] {
+		if tp.SizeBytes() != len(tp.Key)+16 {
+			t.Errorf("tuple size %d unexpected", tp.SizeBytes())
+		}
+	}
+}
+
+func TestGenerateRelationSkewConcentratesTuples(t *testing.T) {
+	uniform, err := GenerateRelation(RelationSpec{Name: "U", NumTuples: 5000, NumKeys: 100, Skew: 0}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := GenerateRelation(RelationSpec{Name: "S", NumTuples: 5000, NumKeys: 100, Skew: 1.5}, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCount := func(r *Relation) int {
+		max := 0
+		for _, c := range r.KeyCounts() {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if maxCount(skewed) <= maxCount(uniform) {
+		t.Errorf("skewed max key count %d not larger than uniform %d", maxCount(skewed), maxCount(uniform))
+	}
+}
+
+func TestGenerateRelationDeterministic(t *testing.T) {
+	spec := RelationSpec{Name: "X", NumTuples: 200, NumKeys: 10, Skew: 1.0}
+	a, _ := GenerateRelation(spec, 23)
+	b, _ := GenerateRelation(spec, 23)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different relations")
+	}
+}
+
+func TestGenerateRelationValidation(t *testing.T) {
+	bad := []RelationSpec{
+		{NumTuples: 0, NumKeys: 5},
+		{NumTuples: 5, NumKeys: 0},
+		{NumTuples: 5, NumKeys: 5, Skew: -1},
+	}
+	for i, spec := range bad {
+		if _, err := GenerateRelation(spec, 1); err == nil {
+			t.Errorf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package x2y
+
+import (
+	"repro/internal/core"
+)
+
+// Bounds collects lower bounds for an X2Y instance, mirroring the A2A bounds
+// of the paper.
+type Bounds struct {
+	// Communication is a lower bound on the map-to-reduce communication:
+	// every X input x must be sent to at least ceil(W_Y / (q - w_x))
+	// reducers (each reducer holding x has only q - w_x room for Y inputs,
+	// and x must meet all of Y), and symmetrically for Y inputs.
+	Communication core.Size
+	// Reducers is a lower bound on the number of reducers: the maximum of
+	// the communication bound divided by q and the pair-counting bound
+	// (each reducer covers at most kx*ky cross pairs).
+	Reducers int
+	// Replication is Communication divided by the combined input size.
+	Replication float64
+	// MaxXPerReducer and MaxYPerReducer are the largest numbers of X (resp.
+	// Y) inputs that can share one reducer together with at least one input
+	// of the other side.
+	MaxXPerReducer int
+	MaxYPerReducer int
+}
+
+// LowerBounds computes the lower bounds for an X2Y instance. Empty sides
+// yield zero bounds.
+func LowerBounds(xs, ys *core.InputSet, q core.Size) Bounds {
+	var b Bounds
+	if xs.Len() == 0 || ys.Len() == 0 {
+		return b
+	}
+	totX, totY := xs.TotalSize(), ys.TotalSize()
+
+	for i := 0; i < xs.Len(); i++ {
+		w := xs.Size(i)
+		room := q - w
+		if room <= 0 {
+			b.Communication += w
+			continue
+		}
+		replicas := (totY + room - 1) / room
+		if replicas < 1 {
+			replicas = 1
+		}
+		b.Communication += w * replicas
+	}
+	for j := 0; j < ys.Len(); j++ {
+		w := ys.Size(j)
+		room := q - w
+		if room <= 0 {
+			b.Communication += w
+			continue
+		}
+		replicas := (totX + room - 1) / room
+		if replicas < 1 {
+			replicas = 1
+		}
+		b.Communication += w * replicas
+	}
+	if totX+totY > 0 {
+		b.Replication = float64(b.Communication) / float64(totX+totY)
+	}
+
+	// kx: the most X inputs that can share a reducer while leaving room for
+	// the smallest Y input (and vice versa).
+	b.MaxXPerReducer = maxFitting(xs, q-ys.MinSize())
+	b.MaxYPerReducer = maxFitting(ys, q-xs.MinSize())
+
+	byComm := int((b.Communication + q - 1) / q)
+	byPairs := 0
+	if b.MaxXPerReducer >= 1 && b.MaxYPerReducer >= 1 {
+		perReducer := b.MaxXPerReducer * b.MaxYPerReducer
+		totalPairs := xs.Len() * ys.Len()
+		byPairs = (totalPairs + perReducer - 1) / perReducer
+	}
+	b.Reducers = byComm
+	if byPairs > b.Reducers {
+		b.Reducers = byPairs
+	}
+	if b.Reducers < 1 {
+		b.Reducers = 1
+	}
+	return b
+}
+
+// maxFitting returns how many of the set's smallest inputs fit in the given
+// budget.
+func maxFitting(set *core.InputSet, budget core.Size) int {
+	if budget <= 0 {
+		return 0
+	}
+	count := 0
+	var load core.Size
+	for _, id := range set.IDsBySizeAscending() {
+		if load+set.Size(id) > budget {
+			break
+		}
+		load += set.Size(id)
+		count++
+	}
+	return count
+}

@@ -1,0 +1,202 @@
+package x2y
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrTooLargeForExact is returned when the exact solver is asked to handle an
+// instance with more cross pairs than its configured limit allows.
+var ErrTooLargeForExact = errors.New("x2y: instance too large for the exact solver")
+
+// ErrNodeBudget indicates the exact solver stopped at its node budget; the
+// returned schema is the best found so far (valid but possibly suboptimal).
+var ErrNodeBudget = errors.New("x2y: exact solver node budget exhausted")
+
+// ExactOptions configures the exact solver.
+type ExactOptions struct {
+	// MaxInputs caps the total number of inputs (|X| + |Y|); 0 means the
+	// default of 12.
+	MaxInputs int
+	// MaxNodes caps the number of explored nodes; 0 means 2 million.
+	MaxNodes int
+}
+
+// Exact computes a minimum-reducer X2Y mapping schema by branch and bound,
+// analogous to the A2A exact solver: pick the first uncovered cross pair,
+// branch on covering it inside an existing reducer or in a fresh reducer, and
+// prune against the incumbent heuristic solution and the lower bound.
+func Exact(xs, ys *core.InputSet, q core.Size, opts ExactOptions) (*core.MappingSchema, error) {
+	const algorithm = "x2y/exact"
+	if opts.MaxInputs == 0 {
+		opts.MaxInputs = 12
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 2_000_000
+	}
+	if xs.Len()+ys.Len() > opts.MaxInputs {
+		return nil, fmt.Errorf("%w: %d inputs > limit %d", ErrTooLargeForExact, xs.Len()+ys.Len(), opts.MaxInputs)
+	}
+	if xs.Len() == 0 || ys.Len() == 0 {
+		return emptySchema(q, algorithm), nil
+	}
+	if err := CheckFeasible(xs, ys, q); err != nil {
+		return nil, err
+	}
+	if xs.TotalSize()+ys.TotalSize() <= q {
+		return singleReducer(xs, ys, q, algorithm), nil
+	}
+
+	incumbent, err := Solve(xs, ys, q)
+	if err != nil {
+		return nil, err
+	}
+	s := &exactSearch{
+		xs: xs, ys: ys, q: q,
+		nx: xs.Len(), ny: ys.Len(),
+		best:     incumbent.NumReducers(),
+		bestRed:  cloneReducers(incumbent),
+		maxNodes: opts.MaxNodes,
+		lower:    LowerBounds(xs, ys, q).Reducers,
+	}
+	covered := make([]bool, s.nx*s.ny)
+	s.search(covered, s.nx*s.ny, nil)
+
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: q, Algorithm: algorithm}
+	for _, r := range s.bestRed {
+		ms.AddReducerX2Y(xs, ys, r.x, r.y)
+	}
+	if s.exhausted {
+		return ms, ErrNodeBudget
+	}
+	return ms, nil
+}
+
+type exactReducer struct {
+	x, y []int
+	load core.Size
+}
+
+type exactSearch struct {
+	xs, ys    *core.InputSet
+	q         core.Size
+	nx, ny    int
+	best      int
+	bestRed   []exactReducer
+	nodes     int
+	maxNodes  int
+	exhausted bool
+	lower     int
+}
+
+func (s *exactSearch) search(covered []bool, remaining int, reducers []exactReducer) {
+	if s.exhausted || s.best == s.lower {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.exhausted = true
+		return
+	}
+	if remaining == 0 {
+		if len(reducers) < s.best {
+			s.best = len(reducers)
+			s.bestRed = make([]exactReducer, len(reducers))
+			for i, r := range reducers {
+				s.bestRed[i] = exactReducer{x: append([]int(nil), r.x...), y: append([]int(nil), r.y...), load: r.load}
+			}
+		}
+		return
+	}
+	if len(reducers) >= s.best {
+		return
+	}
+	// First uncovered cross pair.
+	idx := 0
+	for covered[idx] {
+		idx++
+	}
+	px, py := idx/s.ny, idx%s.ny
+	wx, wy := s.xs.Size(px), s.ys.Size(py)
+
+	// Option A: cover inside an existing reducer.
+	for r := range reducers {
+		hasX := containsInt(reducers[r].x, px)
+		hasY := containsInt(reducers[r].y, py)
+		var extra core.Size
+		switch {
+		case hasX && hasY:
+			continue
+		case hasX:
+			extra = wy
+		case hasY:
+			extra = wx
+		default:
+			extra = wx + wy
+		}
+		if reducers[r].load+extra > s.q {
+			continue
+		}
+		var newly []int
+		if !hasX {
+			reducers[r].x = append(reducers[r].x, px)
+		}
+		if !hasY {
+			reducers[r].y = append(reducers[r].y, py)
+		}
+		for _, x := range reducers[r].x {
+			for _, y := range reducers[r].y {
+				i := x*s.ny + y
+				if !covered[i] {
+					covered[i] = true
+					newly = append(newly, i)
+				}
+			}
+		}
+		reducers[r].load += extra
+
+		s.search(covered, remaining-len(newly), reducers)
+
+		reducers[r].load -= extra
+		for _, i := range newly {
+			covered[i] = false
+		}
+		if !hasY {
+			reducers[r].y = reducers[r].y[:len(reducers[r].y)-1]
+		}
+		if !hasX {
+			reducers[r].x = reducers[r].x[:len(reducers[r].x)-1]
+		}
+	}
+
+	// Option B: open a new reducer with exactly this pair.
+	if len(reducers)+1 < s.best && wx+wy <= s.q {
+		covered[idx] = true
+		reducers = append(reducers, exactReducer{x: []int{px}, y: []int{py}, load: wx + wy})
+		s.search(covered, remaining-1, reducers)
+		covered[idx] = false
+	}
+}
+
+func containsInt(ids []int, v int) bool {
+	for _, id := range ids {
+		if id == v {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneReducers(ms *core.MappingSchema) []exactReducer {
+	out := make([]exactReducer, len(ms.Reducers))
+	for i, r := range ms.Reducers {
+		out[i] = exactReducer{
+			x:    append([]int(nil), r.XInputs...),
+			y:    append([]int(nil), r.YInputs...),
+			load: r.Load,
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package x2y_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/x2y"
+)
+
+// Solve an X2Y instance with a heavy input on the X side (the skew-join
+// shape): the big input meets the Y side through residual-capacity bins.
+func ExampleSolve() {
+	xs, _ := core.NewInputSet([]core.Size{7, 2, 1})
+	ys, _ := core.NewInputSet([]core.Size{1, 2, 1, 1})
+	q := core.Size(10)
+	schema, err := x2y.Solve(xs, ys, q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := schema.ValidateX2Y(xs, ys); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	cost := core.SchemaCost(schema, xs.TotalSize()+ys.TotalSize())
+	bounds := x2y.LowerBounds(xs, ys, q)
+	fmt.Printf("reducers=%d (lower bound %d)\n", cost.Reducers, bounds.Reducers)
+	// Output: reducers=3 (lower bound 3)
+}

@@ -1,0 +1,100 @@
+package x2y
+
+import (
+	"repro/internal/core"
+)
+
+// Greedy is a coverage-greedy baseline for the X2Y problem. It repeatedly
+// opens a reducer seeded with the first uncovered cross pair and keeps adding
+// the input (from either side) that covers the most still-uncovered cross
+// pairs with the reducer's current members of the opposite side, until no
+// addition helps or nothing fits.
+func Greedy(xs, ys *core.InputSet, q core.Size) (*core.MappingSchema, error) {
+	const algorithm = "x2y/greedy"
+	if xs.Len() == 0 || ys.Len() == 0 {
+		return emptySchema(q, algorithm), nil
+	}
+	if err := CheckFeasible(xs, ys, q); err != nil {
+		return nil, err
+	}
+	nx, ny := xs.Len(), ys.Len()
+	covered := make([]bool, nx*ny)
+	remaining := nx * ny
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: q, Algorithm: algorithm}
+
+	cursor := 0
+	for remaining > 0 {
+		// Find the first uncovered cross pair.
+		for covered[cursor] {
+			cursor++
+		}
+		x0, y0 := cursor/ny, cursor%ny
+		xMembers := []int{x0}
+		yMembers := []int{y0}
+		inX := make([]bool, nx)
+		inY := make([]bool, ny)
+		inX[x0], inY[y0] = true, true
+		load := xs.Size(x0) + ys.Size(y0)
+		covered[cursor] = true
+		remaining--
+
+		for {
+			bestSide, best, bestGain := 0, -1, 0
+			// Candidate X inputs gain one pair per uncovered (x, yMember).
+			for x := 0; x < nx; x++ {
+				if inX[x] || load+xs.Size(x) > q {
+					continue
+				}
+				gain := 0
+				for _, y := range yMembers {
+					if !covered[x*ny+y] {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					bestSide, best, bestGain = 0, x, gain
+				}
+			}
+			for y := 0; y < ny; y++ {
+				if inY[y] || load+ys.Size(y) > q {
+					continue
+				}
+				gain := 0
+				for _, x := range xMembers {
+					if !covered[x*ny+y] {
+						gain++
+					}
+				}
+				if gain > bestGain {
+					bestSide, best, bestGain = 1, y, gain
+				}
+			}
+			if best == -1 {
+				break
+			}
+			if bestSide == 0 {
+				for _, y := range yMembers {
+					if !covered[best*ny+y] {
+						covered[best*ny+y] = true
+						remaining--
+					}
+				}
+				xMembers = append(xMembers, best)
+				inX[best] = true
+				load += xs.Size(best)
+			} else {
+				for _, x := range xMembers {
+					if !covered[x*ny+best] {
+						covered[x*ny+best] = true
+						remaining--
+					}
+				}
+				yMembers = append(yMembers, best)
+				inY[best] = true
+				load += ys.Size(best)
+			}
+		}
+		ms.AddReducerX2Y(xs, ys, xMembers, yMembers)
+	}
+	return ms, nil
+}

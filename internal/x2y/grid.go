@@ -1,0 +1,139 @@
+package x2y
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+// ErrHasBigInputs is returned by Grid when some input exceeds the capacity
+// share allotted to its side; such instances are handled by BigSmallSplit (or
+// Solve, which dispatches automatically).
+var ErrHasBigInputs = errors.New("x2y: instance has inputs larger than the per-side capacity share; use BigSmallSplit")
+
+// Grid is the bin-packing-based approximation for the X2Y problem with an
+// even capacity split: X is packed into bins of capacity floor(q/2), Y is
+// packed into bins of capacity ceil(q/2), and every (X-bin, Y-bin) pair is
+// assigned to one reducer. With b_x X-bins and b_y Y-bins the schema uses
+// b_x * b_y reducers, and every cross pair is covered by the reducer of its
+// two bins.
+func Grid(xs, ys *core.InputSet, q core.Size, policy binpack.Policy) (*core.MappingSchema, error) {
+	return GridSplit(xs, ys, q, q/2, policy)
+}
+
+// GridSplit is Grid with an explicit capacity split: X-bins have capacity
+// xShare and Y-bins capacity q-xShare.
+func GridSplit(xs, ys *core.InputSet, q, xShare core.Size, policy binpack.Policy) (*core.MappingSchema, error) {
+	algorithm := fmt.Sprintf("x2y/grid(split=%d)/%s", xShare, policy)
+	if xs.Len() == 0 || ys.Len() == 0 {
+		return emptySchema(q, algorithm), nil
+	}
+	if err := CheckFeasible(xs, ys, q); err != nil {
+		return nil, err
+	}
+	yShare := q - xShare
+	if xShare <= 0 || yShare <= 0 {
+		return nil, fmt.Errorf("x2y: invalid capacity split %d/%d for q=%d", xShare, yShare, q)
+	}
+	if xs.MaxSize() > xShare {
+		return nil, fmt.Errorf("%w: max X size %d > X share %d", ErrHasBigInputs, xs.MaxSize(), xShare)
+	}
+	if ys.MaxSize() > yShare {
+		return nil, fmt.Errorf("%w: max Y size %d > Y share %d", ErrHasBigInputs, ys.MaxSize(), yShare)
+	}
+	xPack, err := binpack.Pack(binpack.ItemsFromInputSet(xs), xShare, policy)
+	if err != nil {
+		return nil, fmt.Errorf("x2y: packing X side: %w", err)
+	}
+	yPack, err := binpack.Pack(binpack.ItemsFromInputSet(ys), yShare, policy)
+	if err != nil {
+		return nil, fmt.Errorf("x2y: packing Y side: %w", err)
+	}
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: q, Algorithm: algorithm}
+	for _, xb := range xPack.Bins {
+		for _, yb := range yPack.Bins {
+			ms.AddReducerX2Y(xs, ys, xb.Items, yb.Items)
+		}
+	}
+	return ms, nil
+}
+
+// GridWithSplit tries a set of candidate capacity splits between the X and Y
+// sides and returns the schema with the fewest reducers (ties broken by
+// smaller communication). Candidates always include the even split and splits
+// proportional to the two sides' total sizes, plus a small sweep in between.
+func GridWithSplit(xs, ys *core.InputSet, q core.Size, policy binpack.Policy) (*core.MappingSchema, error) {
+	if xs.Len() == 0 || ys.Len() == 0 {
+		return emptySchema(q, "x2y/grid-best-split/"+policy.String()), nil
+	}
+	if err := CheckFeasible(xs, ys, q); err != nil {
+		return nil, err
+	}
+	candidates := splitCandidates(xs, ys, q)
+	var best *core.MappingSchema
+	var bestCost core.Cost
+	total := xs.TotalSize() + ys.TotalSize()
+	var firstErr error
+	for _, s := range candidates {
+		ms, err := GridSplit(xs, ys, q, s, policy)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		cost := core.SchemaCost(ms, total)
+		if best == nil ||
+			cost.Reducers < bestCost.Reducers ||
+			(cost.Reducers == bestCost.Reducers && cost.Communication < bestCost.Communication) {
+			best, bestCost = ms, cost
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	best.Algorithm = "x2y/grid-best-split/" + policy.String()
+	return best, nil
+}
+
+// splitCandidates proposes X-side capacity shares to try.
+func splitCandidates(xs, ys *core.InputSet, q core.Size) []core.Size {
+	seen := map[core.Size]bool{}
+	var out []core.Size
+	add := func(s core.Size) {
+		if s <= 0 || s >= q || seen[s] {
+			return
+		}
+		// The split must leave room for the largest input on each side.
+		if xs.MaxSize() > s || ys.MaxSize() > q-s {
+			return
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	add(q / 2)
+	add((q + 1) / 2)
+	// Proportional to total sizes.
+	totX, totY := xs.TotalSize(), ys.TotalSize()
+	if totX+totY > 0 {
+		add(q * totX / (totX + totY))
+	}
+	// A coarse sweep of eighths.
+	for i := core.Size(1); i < 8; i++ {
+		add(q * i / 8)
+	}
+	// Tight against each side's largest input.
+	add(xs.MaxSize())
+	add(q - ys.MaxSize())
+	if len(out) == 0 {
+		// Fall back to the only possibly feasible region midpoint.
+		out = append(out, q/2)
+	}
+	return out
+}
+
+// GridReducerCount predicts the number of reducers Grid uses given the bin
+// counts of the two packing steps.
+func GridReducerCount(xBins, yBins int) int { return xBins * yBins }

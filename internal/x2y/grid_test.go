@@ -1,0 +1,154 @@
+package x2y
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+func TestGridSmallInstance(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{3, 2, 4})
+	ys := core.MustNewInputSet([]core.Size{1, 5, 2, 2})
+	q := core.Size(10)
+	ms, err := Grid(xs, ys, q, binpack.FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.ValidateX2Y(xs, ys); err != nil {
+		t.Errorf("ValidateX2Y: %v", err)
+	}
+}
+
+func TestGridReducerCountMatchesBins(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{3, 3, 3, 3})
+	ys := core.MustNewInputSet([]core.Size{4, 4, 4})
+	q := core.Size(10)
+	xPack, _ := binpack.Pack(binpack.ItemsFromInputSet(xs), q/2, binpack.FirstFitDecreasing)
+	yPack, _ := binpack.Pack(binpack.ItemsFromInputSet(ys), q-q/2, binpack.FirstFitDecreasing)
+	ms, err := Grid(xs, ys, q, binpack.FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GridReducerCount(xPack.NumBins(), yPack.NumBins())
+	if ms.NumReducers() != want {
+		t.Errorf("reducers = %d, want %d", ms.NumReducers(), want)
+	}
+}
+
+func TestGridRejectsBigInputs(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{6, 2})
+	ys := core.MustNewInputSet([]core.Size{2, 2})
+	if _, err := Grid(xs, ys, 10, binpack.FirstFitDecreasing); !errors.Is(err, ErrHasBigInputs) {
+		t.Errorf("Grid = %v, want ErrHasBigInputs", err)
+	}
+}
+
+func TestGridInfeasible(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{8})
+	ys := core.MustNewInputSet([]core.Size{8})
+	if _, err := Grid(xs, ys, 10, binpack.FirstFitDecreasing); !errors.Is(err, core.ErrInfeasible) {
+		t.Errorf("Grid = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGridEmptySide(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{2})
+	ms, err := Grid(xs, &core.InputSet{}, 10, binpack.FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumReducers() != 0 {
+		t.Errorf("empty Y side: %d reducers, want 0", ms.NumReducers())
+	}
+}
+
+func TestGridSplitInvalidShare(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{2})
+	ys := core.MustNewInputSet([]core.Size{2})
+	if _, err := GridSplit(xs, ys, 10, 0, binpack.FirstFitDecreasing); err == nil {
+		t.Error("GridSplit accepted a zero X share")
+	}
+	if _, err := GridSplit(xs, ys, 10, 10, binpack.FirstFitDecreasing); err == nil {
+		t.Error("GridSplit accepted a full-capacity X share")
+	}
+}
+
+func TestGridWithSplitAtLeastAsGoodAsEvenSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 25; trial++ {
+		nx, ny := 2+rng.Intn(20), 2+rng.Intn(20)
+		q := core.Size(20 + rng.Intn(40))
+		xSizes := make([]core.Size, nx)
+		ySizes := make([]core.Size, ny)
+		for i := range xSizes {
+			xSizes[i] = core.Size(1 + rng.Int63n(int64(q/4)))
+		}
+		for i := range ySizes {
+			ySizes[i] = core.Size(1 + rng.Int63n(int64(q/2)))
+		}
+		xs := core.MustNewInputSet(xSizes)
+		ys := core.MustNewInputSet(ySizes)
+		even, err := Grid(xs, ys, q, binpack.FirstFitDecreasing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := GridWithSplit(xs, ys, q, binpack.FirstFitDecreasing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := best.ValidateX2Y(xs, ys); err != nil {
+			t.Fatalf("best-split schema invalid: %v", err)
+		}
+		if best.NumReducers() > even.NumReducers() {
+			t.Errorf("best-split used %d reducers, even split %d", best.NumReducers(), even.NumReducers())
+		}
+	}
+}
+
+func TestGridWithSplitAsymmetricSides(t *testing.T) {
+	// X is tiny, Y is bulky: an uneven split should let all of X share one
+	// bin and cut the reducer count versus the even split.
+	xs := core.MustNewInputSet([]core.Size{1, 1, 1, 1})
+	ys := core.MustNewInputSet([]core.Size{7, 7, 7, 7, 7, 7})
+	q := core.Size(12)
+	best, err := GridWithSplit(xs, ys, q, binpack.FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.ValidateX2Y(xs, ys); err != nil {
+		t.Fatalf("ValidateX2Y: %v", err)
+	}
+	if best.NumReducers() > 6 {
+		t.Errorf("best-split used %d reducers, want <= 6 (one X bin x six Y bins)", best.NumReducers())
+	}
+}
+
+func TestGridAllPoliciesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 15; trial++ {
+		nx, ny := 1+rng.Intn(15), 1+rng.Intn(15)
+		q := core.Size(16 + rng.Intn(30))
+		xSizes := make([]core.Size, nx)
+		ySizes := make([]core.Size, ny)
+		for i := range xSizes {
+			xSizes[i] = core.Size(1 + rng.Int63n(int64(q/2)))
+		}
+		for i := range ySizes {
+			ySizes[i] = core.Size(1 + rng.Int63n(int64(q/2)))
+		}
+		xs := core.MustNewInputSet(xSizes)
+		ys := core.MustNewInputSet(ySizes)
+		for _, pol := range binpack.Policies() {
+			ms, err := Grid(xs, ys, q, pol)
+			if err != nil {
+				t.Fatalf("policy %v: %v", pol, err)
+			}
+			if err := ms.ValidateX2Y(xs, ys); err != nil {
+				t.Fatalf("policy %v invalid: %v", pol, err)
+			}
+		}
+	}
+}

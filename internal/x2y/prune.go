@@ -1,0 +1,146 @@
+package x2y
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PruneRedundant is the X2Y analogue of the A2A post-optimisation pass: it
+// removes reducers whose every cross pair is also covered elsewhere and then
+// removes individual input copies (on either side) that no longer cover any
+// unique cross pair at their reducer. The result is a new, still-valid
+// schema that never uses more reducers and never ships more data than the
+// input schema.
+func PruneRedundant(ms *core.MappingSchema, xs, ys *core.InputSet) *core.MappingSchema {
+	nx, ny := xs.Len(), ys.Len()
+	if nx == 0 || ny == 0 || len(ms.Reducers) == 0 {
+		out := *ms
+		out.Reducers = append([]core.Reducer(nil), ms.Reducers...)
+		return &out
+	}
+
+	type memberLists struct {
+		x, y []int
+	}
+	members := make([]memberLists, len(ms.Reducers))
+	for i, r := range ms.Reducers {
+		members[i] = memberLists{
+			x: append([]int(nil), r.XInputs...),
+			y: append([]int(nil), r.YInputs...),
+		}
+	}
+
+	coverCount := make([]int32, nx*ny)
+	addPairs := func(ml memberLists, delta int32) {
+		for _, x := range ml.x {
+			for _, y := range ml.y {
+				coverCount[x*ny+y] += delta
+			}
+		}
+	}
+	for _, ml := range members {
+		addPairs(ml, 1)
+	}
+
+	// Phase 1: drop redundant reducers, biggest load first.
+	order := make([]int, len(members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ms.Reducers[order[a]].Load > ms.Reducers[order[b]].Load
+	})
+	removed := make([]bool, len(members))
+	for _, r := range order {
+		ml := members[r]
+		if len(ml.x) == 0 || len(ml.y) == 0 {
+			removed[r] = true
+			continue
+		}
+		redundant := true
+	check:
+		for _, x := range ml.x {
+			for _, y := range ml.y {
+				if coverCount[x*ny+y] < 2 {
+					redundant = false
+					break check
+				}
+			}
+		}
+		if redundant {
+			addPairs(ml, -1)
+			removed[r] = true
+		}
+	}
+
+	// Phase 2: drop redundant input copies, biggest first, on each side.
+	for r := range members {
+		if removed[r] {
+			continue
+		}
+		// X side.
+		members[r].x = pruneSide(members[r].x, members[r].y, xs, func(x, y int) *int32 {
+			return &coverCount[x*ny+y]
+		})
+		// Y side.
+		members[r].y = pruneSide(members[r].y, members[r].x, ys, func(y, x int) *int32 {
+			return &coverCount[x*ny+y]
+		})
+	}
+
+	out := &core.MappingSchema{
+		Problem:   ms.Problem,
+		Capacity:  ms.Capacity,
+		Algorithm: ms.Algorithm + "+pruned",
+	}
+	for r := range members {
+		if removed[r] || len(members[r].x) == 0 || len(members[r].y) == 0 {
+			continue
+		}
+		out.AddReducerX2Y(xs, ys, members[r].x, members[r].y)
+	}
+	return out
+}
+
+// pruneSide removes members of `side` whose every pair with `others` is
+// covered at least twice, keeping at least one member, and decrementing the
+// counts of the removed pairs. count(a, b) returns the counter cell for the
+// pair (a from side, b from others).
+func pruneSide(side, others []int, set *core.InputSet, count func(a, b int) *int32) []int {
+	if len(side) <= 1 || len(others) == 0 {
+		return side
+	}
+	bySize := append([]int(nil), side...)
+	sort.SliceStable(bySize, func(a, b int) bool {
+		return set.Size(bySize[a]) > set.Size(bySize[b])
+	})
+	current := append([]int(nil), side...)
+	for _, candidate := range bySize {
+		if len(current) <= 1 {
+			break
+		}
+		droppable := true
+		for _, o := range others {
+			if *count(candidate, o) < 2 {
+				droppable = false
+				break
+			}
+		}
+		if !droppable {
+			continue
+		}
+		next := current[:0:0]
+		for _, v := range current {
+			if v == candidate {
+				continue
+			}
+			next = append(next, v)
+		}
+		for _, o := range others {
+			*count(candidate, o)--
+		}
+		current = next
+	}
+	return current
+}

@@ -1,0 +1,109 @@
+package x2y
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+func TestPruneRemovesDuplicateReducers(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{1, 1})
+	ys := core.MustNewInputSet([]core.Size{1, 1})
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: 8, Algorithm: "dup"}
+	ms.AddReducerX2Y(xs, ys, []int{0, 1}, []int{0, 1})
+	ms.AddReducerX2Y(xs, ys, []int{0, 1}, []int{0, 1})
+	ms.AddReducerX2Y(xs, ys, []int{0}, []int{0})
+	pruned := PruneRedundant(ms, xs, ys)
+	if pruned.NumReducers() != 1 {
+		t.Errorf("pruned to %d reducers, want 1", pruned.NumReducers())
+	}
+	if err := pruned.ValidateX2Y(xs, ys); err != nil {
+		t.Errorf("pruned schema invalid: %v", err)
+	}
+	if ms.NumReducers() != 3 {
+		t.Error("original schema was modified")
+	}
+}
+
+func TestPruneRemovesRedundantCopiesOnBothSides(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{1, 6})
+	ys := core.MustNewInputSet([]core.Size{1, 6})
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: 20, Algorithm: "copies"}
+	ms.AddReducerX2Y(xs, ys, []int{0, 1}, []int{0, 1})
+	ms.AddReducerX2Y(xs, ys, []int{0, 1}, []int{0, 1})
+	pruned := PruneRedundant(ms, xs, ys)
+	if err := pruned.ValidateX2Y(xs, ys); err != nil {
+		t.Fatalf("pruned schema invalid: %v", err)
+	}
+	before := core.SchemaCost(ms, xs.TotalSize()+ys.TotalSize())
+	after := core.SchemaCost(pruned, xs.TotalSize()+ys.TotalSize())
+	if after.Communication >= before.Communication {
+		t.Errorf("pruning did not reduce communication: %d -> %d", before.Communication, after.Communication)
+	}
+	if pruned.NumReducers() != 1 {
+		t.Errorf("pruned to %d reducers, want 1", pruned.NumReducers())
+	}
+}
+
+func TestPruneKeepsValidSchemasValidAndNeverCostsMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		nx, ny := 1+rng.Intn(12), 1+rng.Intn(12)
+		q := core.Size(16 + rng.Intn(40))
+		xSizes := make([]core.Size, nx)
+		ySizes := make([]core.Size, ny)
+		for i := range xSizes {
+			xSizes[i] = core.Size(1 + rng.Int63n(int64(q/2)))
+		}
+		for i := range ySizes {
+			ySizes[i] = core.Size(1 + rng.Int63n(int64(q/2)))
+		}
+		xs := core.MustNewInputSet(xSizes)
+		ys := core.MustNewInputSet(ySizes)
+		for _, build := range []func() (*core.MappingSchema, error){
+			func() (*core.MappingSchema, error) { return Solve(xs, ys, q) },
+			func() (*core.MappingSchema, error) { return Greedy(xs, ys, q) },
+			func() (*core.MappingSchema, error) { return BigSmallSplit(xs, ys, q, binpack.FirstFitDecreasing) },
+		} {
+			ms, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pruned := PruneRedundant(ms, xs, ys)
+			if err := pruned.ValidateX2Y(xs, ys); err != nil {
+				t.Fatalf("pruned schema invalid (x=%v y=%v q=%d): %v", xSizes, ySizes, q, err)
+			}
+			before := core.SchemaCost(ms, xs.TotalSize()+ys.TotalSize())
+			after := core.SchemaCost(pruned, xs.TotalSize()+ys.TotalSize())
+			if after.Reducers > before.Reducers {
+				t.Fatalf("pruning increased reducers: %d -> %d", before.Reducers, after.Reducers)
+			}
+			if after.Communication > before.Communication {
+				t.Fatalf("pruning increased communication: %d -> %d", before.Communication, after.Communication)
+			}
+		}
+	}
+}
+
+func TestPruneDegenerate(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{1})
+	empty := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: 10}
+	pruned := PruneRedundant(empty, xs, &core.InputSet{})
+	if pruned.NumReducers() != 0 {
+		t.Errorf("pruning an empty schema produced %d reducers", pruned.NumReducers())
+	}
+	// A reducer with only one side populated covers nothing and is dropped.
+	ys := core.MustNewInputSet([]core.Size{1})
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: 10}
+	ms.AddReducerX2Y(xs, ys, []int{0}, []int{0})
+	ms.AddReducerX2Y(xs, ys, []int{0}, nil)
+	pruned = PruneRedundant(ms, xs, ys)
+	if pruned.NumReducers() != 1 {
+		t.Errorf("one-sided reducer not pruned: %d reducers", pruned.NumReducers())
+	}
+	if err := pruned.ValidateX2Y(xs, ys); err != nil {
+		t.Errorf("pruned schema invalid: %v", err)
+	}
+}

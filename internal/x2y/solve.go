@@ -1,0 +1,50 @@
+package x2y
+
+import (
+	"repro/internal/binpack"
+	"repro/internal/core"
+)
+
+// Options configures Solve.
+type Options struct {
+	// Policy selects the bin-packing heuristic used by the grid and
+	// big/small algorithms. DefaultOptions uses First-Fit-Decreasing.
+	Policy binpack.Policy
+	// OptimizeSplit enables trying multiple capacity splits between the X
+	// and Y sides (GridWithSplit) instead of the fixed even split. Enabled
+	// by DefaultOptions.
+	OptimizeSplit bool
+}
+
+// DefaultOptions returns the options Solve uses for the zero Options value.
+func DefaultOptions() Options {
+	return Options{Policy: binpack.FirstFitDecreasing, OptimizeSplit: true}
+}
+
+// Solve computes a mapping schema for an X2Y instance, dispatching to
+// BigSmallSplit when either side has inputs larger than q/2 and to the grid
+// algorithm otherwise. It returns core.ErrInfeasible (wrapped) when no schema
+// exists.
+func Solve(xs, ys *core.InputSet, q core.Size) (*core.MappingSchema, error) {
+	return SolveWithOptions(xs, ys, q, DefaultOptions())
+}
+
+// SolveWithOptions is Solve with explicit options.
+func SolveWithOptions(xs, ys *core.InputSet, q core.Size, opts Options) (*core.MappingSchema, error) {
+	if xs.Len() == 0 || ys.Len() == 0 {
+		return emptySchema(q, "x2y/solve"), nil
+	}
+	if err := CheckFeasible(xs, ys, q); err != nil {
+		return nil, err
+	}
+	if xs.TotalSize()+ys.TotalSize() <= q {
+		return singleReducer(xs, ys, q, "x2y/single-reducer"), nil
+	}
+	if xs.MaxSize() > q/2 || ys.MaxSize() > q/2 {
+		return BigSmallSplit(xs, ys, q, opts.Policy)
+	}
+	if opts.OptimizeSplit {
+		return GridWithSplit(xs, ys, q, opts.Policy)
+	}
+	return Grid(xs, ys, q, opts.Policy)
+}
