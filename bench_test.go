@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/binpack"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/planner"
 	"repro/internal/simjoin"
 	"repro/internal/skewjoin"
 	"repro/internal/workload"
@@ -147,6 +149,53 @@ func BenchmarkBinPackFFD(b *testing.B) {
 	}
 }
 
+// plannerBenchSet builds the instance the planner benchmarks share.
+func plannerBenchSet(b *testing.B) *core.InputSet {
+	b.Helper()
+	set, err := workload.InputSet(workload.SizeSpec{Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.5}, 500, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkPlannerCold measures a full portfolio race on every iteration
+// (cache disabled); BenchmarkPlannerCached measures the same request served
+// from the canonicalization cache. The gap between the two is the cache win
+// on repeated isomorphic workloads.
+func BenchmarkPlannerCold(b *testing.B) {
+	set := plannerBenchSet(b)
+	p := planner.New(planner.Config{CacheEntries: -1})
+	req := planner.Request{Problem: core.ProblemA2A, Set: set, Capacity: 128}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Plan(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerCached(b *testing.B) {
+	set := plannerBenchSet(b)
+	p := planner.New(planner.Config{})
+	req := planner.Request{Problem: core.ProblemA2A, Set: set, Capacity: 128}
+	if _, err := p.Plan(context.Background(), req); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Plan(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
 func BenchmarkSchemaValidateA2A(b *testing.B) {
 	set, err := workload.InputSet(workload.SizeSpec{Dist: workload.Uniform, Min: 1, Max: 30}, 500, 5)
 	if err != nil {
@@ -164,6 +213,11 @@ func BenchmarkSchemaValidateA2A(b *testing.B) {
 		}
 	}
 }
+
+// The two end-to-end benchmarks below plan through the shared planner
+// facade, so iterations after the first serve the mapping schema from its
+// canonicalization cache — representative of a production loop over a
+// repeated workload. BenchmarkPlannerCold isolates the uncached solve cost.
 
 func BenchmarkSimilarityJoinEndToEnd(b *testing.B) {
 	docs, err := workload.Documents(workload.CorpusSpec{

@@ -1,0 +1,284 @@
+// Command pland serves mapping-schema planning decisions over HTTP. It wraps
+// the internal/planner portfolio — the paper's constructive algorithms raced
+// against alternative packing policies, the greedy baseline, and bounded
+// exact search — behind a canonicalization cache, so repeated or isomorphic
+// workloads are answered without re-solving.
+//
+// Endpoints:
+//
+//	POST /v1/plan   {"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}
+//	                {"problem":"X2Y","capacity":10,"x_sizes":[7,2,1],"y_sizes":[1,2,1,1]}
+//	GET  /v1/stats  cache and solver-win counters
+//	GET  /healthz   liveness probe
+//
+// Example:
+//
+//	pland -addr :8080 -cache 8192 -timeout 500ms
+//	curl -s localhost:8080/v1/plan -d '{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+)
+
+func main() {
+	fs := flag.NewFlagSet("pland", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		cacheSize  = fs.Int("cache", planner.DefaultCacheEntries, "canonical plan cache capacity (0 disables)")
+		timeout    = fs.Duration("timeout", planner.DefaultTimeout, "default per-request planning budget")
+		maxTimeout = fs.Duration("max-timeout", 10*time.Second, "largest per-request budget a client may ask for")
+		maxBody    = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+		maxInputs  = fs.Int("max-inputs", 200_000, "largest accepted instance size (total inputs)")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	entries := *cacheSize
+	if entries == 0 {
+		entries = -1 // Config uses negative to disable, 0 for the default
+	}
+	p := planner.New(planner.Config{CacheEntries: entries})
+	srv := newServer(p, serverConfig{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxInputs:      *maxInputs,
+	})
+	log.Printf("pland: listening on %s (cache=%d entries, default budget %v)", *addr, *cacheSize, *timeout)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// newServer may raise MaxTimeout to DefaultTimeout; size the write
+		// deadline from the effective value so a budget-length solve can
+		// still deliver its response.
+		WriteTimeout: srv.cfg.MaxTimeout + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatalf("pland: %v", err)
+	}
+}
+
+// serverConfig bounds what one request may cost the service.
+type serverConfig struct {
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	MaxBodyBytes   int64
+	MaxInputs      int
+}
+
+// server is the HTTP front end over a Planner. It is a plain http.Handler so
+// tests drive it through httptest without a listener.
+type server struct {
+	planner *planner.Planner
+	cfg     serverConfig
+	mux     *http.ServeMux
+	started time.Time
+}
+
+func newServer(p *planner.Planner, cfg serverConfig) *server {
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = planner.DefaultTimeout
+	}
+	if cfg.MaxTimeout < cfg.DefaultTimeout {
+		cfg.MaxTimeout = cfg.DefaultTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.MaxInputs <= 0 {
+		cfg.MaxInputs = 200_000
+	}
+	s := &server{planner: p, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// planRequest is the JSON body of POST /v1/plan.
+type planRequest struct {
+	// Problem is "A2A" or "X2Y".
+	Problem string `json:"problem"`
+	// Capacity is the reducer capacity q.
+	Capacity core.Size `json:"capacity"`
+	// Sizes holds the A2A input sizes; XSizes/YSizes the X2Y sides.
+	Sizes  []core.Size `json:"sizes,omitempty"`
+	XSizes []core.Size `json:"x_sizes,omitempty"`
+	YSizes []core.Size `json:"y_sizes,omitempty"`
+	// TimeoutMS optionally overrides the planning budget, capped by the
+	// server's -max-timeout. A negative value requests the deterministic
+	// await-all mode (every portfolio member is awaited; each is
+	// individually bounded). It only shapes a fresh solve: an isomorphic
+	// instance already cached (or in flight) is served as previously solved
+	// regardless of this value — combine with NoCache to force a re-solve
+	// under this request's budget.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache skips the canonicalization cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// planResponse is the JSON answer of POST /v1/plan.
+type planResponse struct {
+	Schema             *core.MappingSchema `json:"schema"`
+	Reducers           int                 `json:"reducers"`
+	Communication      core.Size           `json:"communication"`
+	ReplicationRate    float64             `json:"replication_rate"`
+	MaxLoad            core.Size           `json:"max_load"`
+	Winner             string              `json:"winner"`
+	LowerBoundReducers int                 `json:"lower_bound_reducers"`
+	Gap                int                 `json:"gap"`
+	Candidates         int                 `json:"candidates"`
+	CacheHit           bool                `json:"cache_hit"`
+	SharedFlight       bool                `json:"shared_flight"`
+	ElapsedMicros      int64               `json:"elapsed_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body planRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	req, err := s.buildRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	budget := s.cfg.DefaultTimeout
+	switch {
+	case body.TimeoutMS < 0:
+		budget = -1 // await-all mode; the request context still bounds the wait
+	case body.TimeoutMS > 0:
+		// Clamp in milliseconds before converting so huge values cannot
+		// overflow time.Duration and dodge the cap.
+		ms := int64(body.TimeoutMS)
+		if maxMS := s.cfg.MaxTimeout.Milliseconds(); ms > maxMS {
+			ms = maxMS
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	req.Budget.Timeout = budget
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+	defer cancel()
+
+	res, err := s.planner.Plan(ctx, req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, planResponse{
+		Schema:             res.Schema,
+		Reducers:           res.Cost.Reducers,
+		Communication:      res.Cost.Communication,
+		ReplicationRate:    res.Cost.ReplicationRate,
+		MaxLoad:            res.Cost.MaxLoad,
+		Winner:             res.Winner,
+		LowerBoundReducers: res.LowerBoundReducers,
+		Gap:                res.Gap,
+		Candidates:         res.Candidates,
+		CacheHit:           res.CacheHit,
+		SharedFlight:       res.SharedFlight,
+		ElapsedMicros:      res.Elapsed.Microseconds(),
+	})
+}
+
+// buildRequest translates the wire request into a planner request.
+func (s *server) buildRequest(body planRequest) (planner.Request, error) {
+	req := planner.Request{Capacity: body.Capacity, NoCache: body.NoCache}
+	// Validate everything request-shaped here so it uniformly maps to 400;
+	// errors from Plan itself (e.g. infeasible instances) map to 422.
+	if body.Capacity <= 0 {
+		return req, fmt.Errorf("capacity must be positive, got %d", body.Capacity)
+	}
+	if n := len(body.Sizes) + len(body.XSizes) + len(body.YSizes); n > s.cfg.MaxInputs {
+		return req, fmt.Errorf("instance has %d inputs, limit is %d", n, s.cfg.MaxInputs)
+	}
+	switch body.Problem {
+	case "A2A", "a2a":
+		req.Problem = core.ProblemA2A
+		set, err := core.NewInputSet(body.Sizes)
+		if err != nil {
+			return req, fmt.Errorf("sizes: %v", err)
+		}
+		req.Set = set
+	case "X2Y", "x2y":
+		req.Problem = core.ProblemX2Y
+		xs, err := core.NewInputSet(body.XSizes)
+		if err != nil {
+			return req, fmt.Errorf("x_sizes: %v", err)
+		}
+		ys, err := core.NewInputSet(body.YSizes)
+		if err != nil {
+			return req, fmt.Errorf("y_sizes: %v", err)
+		}
+		req.X, req.Y = xs, ys
+	default:
+		return req, fmt.Errorf("problem must be A2A or X2Y, got %q", body.Problem)
+	}
+	return req, nil
+}
+
+// statsResponse is the JSON answer of GET /v1/stats.
+type statsResponse struct {
+	planner.Stats
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:         s.planner.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("pland: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/planner"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postPlan(t *testing.T, srv *httptest.Server, body string) (*http.Response, planResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out planResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// TestPlanEndToEndA2A drives POST /v1/plan through a real HTTP round trip:
+// the answer must be a valid schema for the instance, and the isomorphic
+// repeat must be served from the cache.
+func TestPlanEndToEndA2A(t *testing.T) {
+	srv := newTestServer(t)
+	resp, out := postPlan(t, srv, `{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Schema == nil {
+		t.Fatal("no schema in response")
+	}
+	set := core.MustNewInputSet([]core.Size{3, 3, 2, 2, 4, 1})
+	if err := out.Schema.ValidateA2A(set); err != nil {
+		t.Fatalf("served schema invalid: %v", err)
+	}
+	if out.Reducers != out.Schema.NumReducers() {
+		t.Errorf("reducers field %d != schema %d", out.Reducers, out.Schema.NumReducers())
+	}
+	if out.Reducers < out.LowerBoundReducers {
+		t.Errorf("reducers %d below lower bound %d", out.Reducers, out.LowerBoundReducers)
+	}
+	if out.Winner == "" {
+		t.Error("missing winner")
+	}
+	if out.CacheHit {
+		t.Error("first request cannot hit the cache")
+	}
+
+	// An isomorphic permutation of the same instance must be a cache hit
+	// with the same reducer count.
+	resp2, out2 := postPlan(t, srv, `{"problem":"A2A","capacity":10,"sizes":[1,4,2,3,2,3]}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp2.StatusCode)
+	}
+	if !out2.CacheHit {
+		t.Error("isomorphic repeat was not served from cache")
+	}
+	if out2.Reducers != out.Reducers {
+		t.Errorf("cache served %d reducers, fresh solve %d", out2.Reducers, out.Reducers)
+	}
+	permuted := core.MustNewInputSet([]core.Size{1, 4, 2, 3, 2, 3})
+	if err := out2.Schema.ValidateA2A(permuted); err != nil {
+		t.Fatalf("cached schema invalid for permuted instance: %v", err)
+	}
+}
+
+func TestPlanEndToEndX2Y(t *testing.T) {
+	srv := newTestServer(t)
+	resp, out := postPlan(t, srv, `{"problem":"X2Y","capacity":10,"x_sizes":[7,2,1],"y_sizes":[1,2,1,1]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	xs := core.MustNewInputSet([]core.Size{7, 2, 1})
+	ys := core.MustNewInputSet([]core.Size{1, 2, 1, 1})
+	if err := out.Schema.ValidateX2Y(xs, ys); err != nil {
+		t.Fatalf("served schema invalid: %v", err)
+	}
+}
+
+func TestPlanRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"problem":"A2A","capacity":10}`, http.StatusBadRequest}, // no sizes
+		{`{"problem":"A2A","capacity":0,"sizes":[1]}`, http.StatusBadRequest},
+		{`{"problem":"nope","capacity":10,"sizes":[1]}`, http.StatusBadRequest},
+		{`{"problem":"A2A","capacity":10,"sizes":[1],"bogus":1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{`{"problem":"A2A","capacity":2,"sizes":[5,5]}`, http.StatusUnprocessableEntity}, // infeasible
+	}
+	for _, tc := range cases {
+		resp, _ := postPlan(t, srv, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("body %q: status = %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	get, err := http.Get(srv.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/plan status = %d, want 405", get.StatusCode)
+	}
+}
+
+func TestPlanRejectsOversizedInstance(t *testing.T) {
+	capped := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{MaxInputs: 4}))
+	defer capped.Close()
+	resp, err := http.Post(capped.URL+"/v1/plan", "application/json",
+		bytes.NewBufferString(`{"problem":"A2A","capacity":10,"sizes":[1,1,1,1,1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized instance status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	srv := newTestServer(t)
+	for i := 0; i < 2; i++ { // second call is a cache hit
+		resp, _ := postPlan(t, srv, `{"problem":"A2A","capacity":8,"sizes":[2,2,2,2]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan status = %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want 2 requests, 1 hit, 1 miss", st.Stats)
+	}
+	if len(st.SolverWins) == 0 {
+		t.Error("expected a solver win recorded")
+	}
+
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer health.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(health.Body); err != nil {
+		t.Fatal(err)
+	}
+	if health.StatusCode != http.StatusOK || !strings.Contains(buf.String(), "ok") {
+		t.Errorf("healthz = %d %q", health.StatusCode, buf.String())
+	}
+}

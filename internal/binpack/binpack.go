@@ -137,6 +137,18 @@ func Policies() []Policy {
 	return []Policy{FirstFit, FirstFitDecreasing, BestFitDecreasing, NextFit, WorstFitDecreasing}
 }
 
+// ResolvePolicy interprets an application-config policy field paired with an
+// "explicitly chosen" flag: the zero value (FirstFit) without the flag means
+// no choice was made and resolves to First-Fit-Decreasing, the paper's
+// default. defaulted reports whether that fallback applied — applications
+// use it to decide between a specific heuristic and the planner portfolio.
+func ResolvePolicy(p Policy, explicit bool) (policy Policy, defaulted bool) {
+	if !explicit && p == FirstFit {
+		return FirstFitDecreasing, true
+	}
+	return p, false
+}
+
 // ErrItemTooLarge is returned when some item is larger than the bin capacity.
 var ErrItemTooLarge = errors.New("binpack: item larger than bin capacity")
 

@@ -1,0 +1,62 @@
+package core
+
+import "testing"
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	a := MustNewInputSet([]Size{5, 3, 9, 3, 1})
+	b := MustNewInputSet([]Size{1, 3, 3, 5, 9})
+	c := MustNewInputSet([]Size{9, 1, 3, 5, 3})
+	if a.Fingerprint() != b.Fingerprint() || b.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("isomorphic sets have different fingerprints: %x %x %x",
+			a.Fingerprint(), b.Fingerprint(), c.Fingerprint())
+	}
+}
+
+func TestFingerprintDistinguishesMultisets(t *testing.T) {
+	base := MustNewInputSet([]Size{1, 2, 3})
+	for _, sizes := range [][]Size{{1, 2, 4}, {1, 2, 3, 3}, {1, 2}, {6}} {
+		other := MustNewInputSet(sizes)
+		if base.Fingerprint() == other.Fingerprint() {
+			t.Errorf("distinct multisets %v and %v share a fingerprint", base.Sizes(), sizes)
+		}
+	}
+}
+
+func TestCanonicalSizesAndPermutation(t *testing.T) {
+	set := MustNewInputSet([]Size{7, 2, 2, 9, 1})
+	sizes := set.CanonicalSizes()
+	want := []Size{1, 2, 2, 7, 9}
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Fatalf("canonical sizes = %v, want %v", sizes, want)
+		}
+	}
+	perm := set.CanonicalPermutation()
+	// Position i must name an original input whose size is sizes[i], and
+	// equal sizes must keep ascending-ID order.
+	for i, id := range perm {
+		if set.Size(id) != sizes[i] {
+			t.Errorf("perm[%d] = input %d with size %d, want size %d", i, id, set.Size(id), sizes[i])
+		}
+	}
+	if perm[1] != 1 || perm[2] != 2 {
+		t.Errorf("equal-size tie not broken by ascending ID: perm = %v", perm)
+	}
+	seen := map[int]bool{}
+	for _, id := range perm {
+		if seen[id] {
+			t.Fatalf("perm %v repeats input %d", perm, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMixFingerprintOrderMatters(t *testing.T) {
+	h := uint64(12345)
+	if MixFingerprint(h, 1, 2) == MixFingerprint(h, 2, 1) {
+		t.Error("MixFingerprint should be order-sensitive")
+	}
+	if MixFingerprint(h, 1) == MixFingerprint(h, 2) {
+		t.Error("MixFingerprint should distinguish values")
+	}
+}

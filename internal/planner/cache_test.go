@@ -1,0 +1,168 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// hammerInstances builds a family of distinct canonical A2A instances plus a
+// permutation generator so goroutines can request isomorphic variants.
+func hammerInstances(t *testing.T, n int) [][]core.Size {
+	t.Helper()
+	out := make([][]core.Size, n)
+	for i := range out {
+		sizes := make([]core.Size, 12)
+		for j := range sizes {
+			sizes[j] = core.Size(1 + (i+j*7)%9)
+		}
+		sizes[0] = core.Size(10 + i) // make every instance's multiset distinct
+		out[i] = sizes
+	}
+	return out
+}
+
+func permuted(sizes []core.Size, rng *rand.Rand) []core.Size {
+	cp := append([]core.Size(nil), sizes...)
+	rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
+	return cp
+}
+
+// TestPlanConcurrentHammer drives Plan from many goroutines with overlapping
+// isomorphic instances under -race: every distinct canonical instance must be
+// solved exactly once (single-flight), everything else must be served as a
+// cache hit or a shared flight, and every returned schema must be valid for
+// the exact permutation that requested it.
+func TestPlanConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 60
+		instances  = 8
+	)
+	p := New(Config{CacheEntries: 1024})
+	families := hammerInstances(t, instances)
+	q := core.Size(32)
+
+	// Reducer counts must agree across isomorphic requests; collect one
+	// canonical answer per family.
+	counts := make([]int, instances)
+	for i := range counts {
+		counts[i] = -1
+	}
+	var countsMu sync.Mutex
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for it := 0; it < iterations; it++ {
+				fam := rng.Intn(instances)
+				set, err := core.NewInputSet(permuted(families[fam], rng))
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := p.Plan(context.Background(), Request{
+					Problem: core.ProblemA2A, Set: set, Capacity: q,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := res.Schema.ValidateA2A(set); err != nil {
+					errs <- err
+					return
+				}
+				countsMu.Lock()
+				if counts[fam] == -1 {
+					counts[fam] = res.Schema.NumReducers()
+				} else if counts[fam] != res.Schema.NumReducers() {
+					countsMu.Unlock()
+					errs <- fmt.Errorf("isomorphic requests of family %d got %d and %d reducers",
+						fam, counts[fam], res.Schema.NumReducers())
+					return
+				}
+				countsMu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	total := uint64(goroutines * iterations)
+	if st.Requests != total {
+		t.Errorf("requests = %d, want %d", st.Requests, total)
+	}
+	if st.CacheMisses != instances {
+		t.Errorf("misses = %d, want exactly one fresh solve per canonical instance (%d)",
+			st.CacheMisses, instances)
+	}
+	if st.CacheHits+st.SharedFlights != total-instances {
+		t.Errorf("hits (%d) + shared flights (%d) should cover the remaining %d requests",
+			st.CacheHits, st.SharedFlights, total-instances)
+	}
+	if st.CacheHits == 0 {
+		t.Error("expected cache hits under the hammer")
+	}
+	if st.Errors != 0 {
+		t.Errorf("errors = %d, want 0", st.Errors)
+	}
+	if p.CacheLen() != instances {
+		t.Errorf("cache holds %d entries, want %d", p.CacheLen(), instances)
+	}
+	var wins uint64
+	for _, w := range st.SolverWins {
+		wins += w
+	}
+	if wins != instances {
+		t.Errorf("solver wins total %d, want %d (one per fresh solve)", wins, instances)
+	}
+}
+
+// TestCacheLRUEviction fills a tiny single-shard cache past capacity and
+// checks the oldest canonical instance was evicted and re-solves on the next
+// request.
+func TestCacheLRUEviction(t *testing.T) {
+	p := New(Config{CacheEntries: 2, Shards: 1})
+	ctx := context.Background()
+	mk := func(base core.Size) Request {
+		return Request{
+			Problem:  core.ProblemA2A,
+			Set:      core.MustNewInputSet([]core.Size{base, base, 1, 1}),
+			Capacity: 2 * base,
+		}
+	}
+	for _, base := range []core.Size{4, 5, 6} { // third insert evicts the first
+		if _, err := p.Plan(ctx, mk(base)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.CacheLen() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", p.CacheLen())
+	}
+	res, err := p.Plan(ctx, mk(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("evicted instance should re-solve, not hit")
+	}
+	res, err = p.Plan(ctx, mk(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("recently used instance should still be cached")
+	}
+}

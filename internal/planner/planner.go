@@ -1,0 +1,457 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/a2a"
+	"repro/internal/binpack"
+	"repro/internal/core"
+	"repro/internal/x2y"
+)
+
+// Defaults for the planning budget and the shared planner's cache.
+const (
+	// DefaultTimeout bounds one portfolio race; the baseline constructive
+	// solver is always awaited, so a timeout never loses the paper's
+	// guarantees, it only drops slower portfolio members.
+	DefaultTimeout = 2 * time.Second
+	// DefaultExactMaxInputs gates the exact branch-and-bound members.
+	DefaultExactMaxInputs = 12
+	// DefaultExactMaxNodes bounds the exact members' search; it is far below
+	// the solvers' own default so a race never stalls on a hard instance.
+	DefaultExactMaxNodes = 200_000
+	// defaultGreedyMaxInputs gates the quadratic coverage-greedy baselines.
+	defaultGreedyMaxInputs = 400
+	// DefaultCacheEntries is the shared planner's cache size.
+	DefaultCacheEntries = 4096
+	// DefaultMaxCacheableInputs bounds the instance size the cache retains:
+	// every entry keeps its canonical sizes and schema, so caching huge
+	// instances would let entry-count bounds hide multi-gigabyte memory use.
+	// Larger instances still plan normally, just uncached.
+	DefaultMaxCacheableInputs = 20_000
+	// defaultShards spreads cache locking across this many shards.
+	defaultShards = 16
+)
+
+// Request describes one instance to plan: which problem, the input set(s),
+// and the reducer capacity q. Budget tunes the portfolio race; the zero value
+// uses the defaults above.
+type Request struct {
+	// Problem selects A2A (Set) or X2Y (X and Y).
+	Problem core.Problem
+	// Set is the A2A input set; ignored for X2Y.
+	Set *core.InputSet
+	// X and Y are the X2Y input sets; ignored for A2A.
+	X, Y *core.InputSet
+	// Capacity is the reducer capacity q.
+	Capacity core.Size
+	// Budget tunes the portfolio race.
+	Budget Budget
+	// NoCache skips the canonicalization cache for this request (it is still
+	// canonicalized, so the result is identical to the cached path).
+	NoCache bool
+}
+
+// Budget bounds the portfolio race. The cache is keyed on the instance
+// alone, so a budget only shapes fresh solves: a cached or in-flight
+// isomorphic instance is served as solved under the budget of the request
+// that first triggered it. Callers that need this request's budget honored
+// exactly (e.g. a generous timeout hoping for the exact optimum on an
+// instance first solved under a tight one) set NoCache; Result.Gap reports
+// whether the served plan is already provably optimal.
+type Budget struct {
+	// Timeout caps how long Plan waits for non-baseline portfolio members;
+	// 0 means DefaultTimeout. A negative Timeout waits for every member:
+	// each is individually bounded (the heuristics are polynomial, exact
+	// search is node-capped), so the race result becomes fully
+	// deterministic — the mode the applications use so experiment tables
+	// do not depend on wall-clock scheduling.
+	Timeout time.Duration
+	// ExactMaxInputs caps the instance size the exact solvers attempt;
+	// 0 means DefaultExactMaxInputs, negative disables them.
+	ExactMaxInputs int
+	// ExactMaxNodes caps the exact solvers' search nodes; 0 means
+	// DefaultExactMaxNodes.
+	ExactMaxNodes int
+}
+
+// timeout returns the racing deadline, or 0 for "await every member".
+func (b Budget) timeout() time.Duration {
+	if b.Timeout < 0 {
+		return 0
+	}
+	if b.Timeout == 0 {
+		return DefaultTimeout
+	}
+	return b.Timeout
+}
+
+func (b Budget) exactMaxInputs() int {
+	if b.ExactMaxInputs == 0 {
+		return DefaultExactMaxInputs
+	}
+	return b.ExactMaxInputs
+}
+
+func (b Budget) exactMaxNodes() int {
+	if b.ExactMaxNodes <= 0 {
+		return DefaultExactMaxNodes
+	}
+	return b.ExactMaxNodes
+}
+
+// Result is the outcome of one Plan call.
+type Result struct {
+	// Schema is the winning mapping schema, expressed over the request's
+	// original input IDs.
+	Schema *core.MappingSchema
+	// Cost prices the schema.
+	Cost core.Cost
+	// Winner names the portfolio member that produced the schema.
+	Winner string
+	// LowerBoundReducers is the instance's proved reducer lower bound and Gap
+	// is Schema reducers minus that bound (0 means provably optimal).
+	LowerBoundReducers int
+	Gap                int
+	// Candidates is how many portfolio members finished in time.
+	Candidates int
+	// CacheHit reports whether the plan was served from the cache, and
+	// SharedFlight whether it piggybacked on a concurrent identical solve.
+	CacheHit     bool
+	SharedFlight bool
+	// Elapsed is the wall-clock time Plan spent on this request.
+	Elapsed time.Duration
+}
+
+// Planner runs the portfolio and memoizes canonical solutions. The zero
+// value is not usable; use New. Planners are safe for concurrent use.
+type Planner struct {
+	cache        *cache
+	maxCacheable int
+	stats        stats
+}
+
+// Config configures New.
+type Config struct {
+	// CacheEntries is the total cache capacity; 0 means DefaultCacheEntries,
+	// negative disables caching entirely.
+	CacheEntries int
+	// Shards is the number of cache shards; 0 means a default of 16.
+	Shards int
+	// MaxCacheableInputs is the largest instance (total inputs) the cache
+	// retains; 0 means DefaultMaxCacheableInputs, negative removes the
+	// bound. Larger instances plan normally but bypass the cache.
+	MaxCacheableInputs int
+}
+
+// New builds a Planner.
+func New(cfg Config) *Planner {
+	p := &Planner{maxCacheable: cfg.MaxCacheableInputs}
+	if p.maxCacheable == 0 {
+		p.maxCacheable = DefaultMaxCacheableInputs
+	}
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = DefaultCacheEntries
+	}
+	if entries > 0 {
+		shards := cfg.Shards
+		if shards <= 0 {
+			shards = defaultShards
+		}
+		p.cache = newCache(entries, shards)
+	}
+	return p
+}
+
+// Default is the process-wide shared planner the applications and cmd/pland
+// use; sharing it means isomorphic instances across callers hit one cache.
+var Default = New(Config{})
+
+// Plan plans the request on the Default planner.
+func Plan(ctx context.Context, req Request) (*Result, error) {
+	return Default.Plan(ctx, req)
+}
+
+// Plan canonicalizes the request, serves it from the cache when an
+// isomorphic instance was already solved, and otherwise races the portfolio
+// under the request budget. The returned schema always uses the request's
+// original input IDs and is owned by the caller.
+func (p *Planner) Plan(ctx context.Context, req Request) (*Result, error) {
+	start := time.Now()
+	p.stats.requests.Add(1)
+	cn, err := canonicalize(req)
+	if err != nil {
+		p.stats.errors.Add(1)
+		return nil, err
+	}
+
+	if p.cache == nil || req.NoCache ||
+		(p.maxCacheable > 0 && len(cn.sizes)+len(cn.ySizes) > p.maxCacheable) {
+		return p.solveAndRecord(ctx, req, cn, start)
+	}
+
+	plan, waitFor, mine := p.cache.startFlight(cn)
+	switch {
+	case plan != nil: // cache hit
+		p.stats.hits.Add(1)
+		return p.finish(req, cn, plan, true, false, start), nil
+	case waitFor != nil:
+		select {
+		case <-waitFor.done:
+		case <-ctx.Done():
+			p.stats.errors.Add(1)
+			return nil, ctx.Err()
+		}
+		if waitFor.err != nil {
+			p.stats.errors.Add(1)
+			return nil, waitFor.err
+		}
+		p.stats.shared.Add(1)
+		return p.finish(req, cn, waitFor.plan, false, true, start), nil
+	case mine != nil:
+		// The solve is detached from the request context so an abandoned
+		// request neither poisons the flight's waiters nor wastes the work:
+		// the plan still lands in the cache. The portfolio itself is bounded
+		// by Budget.Timeout, not by the caller's context.
+		// The goroutine records the solver win (every fresh solve has one,
+		// even if its requester abandons); the request counters stay with
+		// the requester so each request lands in exactly one of
+		// hits/misses/shared/errors.
+		go func() {
+			solved, err := p.solvePortfolio(context.Background(), cn, req.Budget)
+			if err == nil {
+				p.stats.recordWin(solved.winner)
+			}
+			p.cache.finishFlight(cn, mine, solved, err)
+		}()
+		select {
+		case <-mine.done:
+		case <-ctx.Done():
+			p.stats.errors.Add(1)
+			return nil, ctx.Err()
+		}
+		if mine.err != nil {
+			p.stats.errors.Add(1)
+			return nil, mine.err
+		}
+		p.stats.misses.Add(1)
+		return p.finish(req, cn, mine.plan, false, false, start), nil
+	default:
+		// A fingerprint-colliding instance holds the flight slot: solve solo
+		// without caching.
+		return p.solveAndRecord(ctx, req, cn, start)
+	}
+}
+
+// solveAndRecord runs the portfolio for the request itself (no cache
+// involvement) and updates the counters.
+func (p *Planner) solveAndRecord(ctx context.Context, req Request, cn *canonical, start time.Time) (*Result, error) {
+	plan, err := p.solvePortfolio(ctx, cn, req.Budget)
+	if err != nil {
+		p.stats.errors.Add(1)
+		return nil, err
+	}
+	p.stats.misses.Add(1)
+	p.stats.recordWin(plan.winner)
+	return p.finish(req, cn, plan, false, false, start), nil
+}
+
+// finish materializes the canonical plan for the request and fills the
+// result envelope.
+func (p *Planner) finish(req Request, cn *canonical, plan *cachedPlan, hit, shared bool, start time.Time) *Result {
+	schema := cn.materialize(req, plan.schema)
+	var total core.Size
+	if req.Problem == core.ProblemA2A {
+		total = req.Set.TotalSize()
+	} else {
+		total = req.X.TotalSize() + req.Y.TotalSize()
+	}
+	return &Result{
+		Schema:             schema,
+		Cost:               core.SchemaCost(schema, total),
+		Winner:             plan.winner,
+		LowerBoundReducers: plan.lowerBound,
+		Gap:                schema.NumReducers() - plan.lowerBound,
+		Candidates:         plan.candidates,
+		CacheHit:           hit,
+		SharedFlight:       shared,
+		Elapsed:            time.Since(start),
+	}
+}
+
+// candidate is one portfolio member.
+type candidate struct {
+	name string
+	run  func() (*core.MappingSchema, error)
+}
+
+// portfolio lists the members for the canonical instance, solving over the
+// canonical input sets. The first member is the baseline — the paper's
+// constructive dispatch with its default policy — and Plan always waits for
+// it, so the portfolio result is never worse than a2a.Solve / x2y.Solve on
+// the same instance.
+func portfolio(cn *canonical, set, ySet *core.InputSet, budget Budget) []candidate {
+	q := cn.q
+	if cn.problem == core.ProblemA2A {
+		cands := []candidate{
+			{"a2a/solve", func() (*core.MappingSchema, error) { return a2a.Solve(set, q) }},
+			{"a2a/solve-bfd", func() (*core.MappingSchema, error) {
+				return a2a.SolveWithOptions(set, q, a2a.Options{Policy: binpack.BestFitDecreasing, PreferEqualSized: true})
+			}},
+			{"a2a/solve-wfd", func() (*core.MappingSchema, error) {
+				return a2a.SolveWithOptions(set, q, a2a.Options{Policy: binpack.WorstFitDecreasing, PreferEqualSized: true})
+			}},
+		}
+		if set.Len() <= defaultGreedyMaxInputs {
+			cands = append(cands, candidate{"a2a/greedy", func() (*core.MappingSchema, error) { return a2a.Greedy(set, q) }})
+		}
+		if max := budget.exactMaxInputs(); max > 0 && set.Len() <= max {
+			cands = append(cands, candidate{"a2a/exact", func() (*core.MappingSchema, error) {
+				ms, err := a2a.Exact(set, q, a2a.ExactOptions{MaxInputs: max, MaxNodes: budget.exactMaxNodes()})
+				if errors.Is(err, a2a.ErrNodeBudget) {
+					err = nil // budget-truncated search still yields a valid schema
+				}
+				return ms, err
+			}})
+		}
+		return cands
+	}
+	cands := []candidate{
+		{"x2y/solve", func() (*core.MappingSchema, error) { return x2y.Solve(set, ySet, q) }},
+		{"x2y/solve-bfd", func() (*core.MappingSchema, error) {
+			return x2y.SolveWithOptions(set, ySet, q, x2y.Options{Policy: binpack.BestFitDecreasing, OptimizeSplit: true})
+		}},
+		{"x2y/solve-wfd", func() (*core.MappingSchema, error) {
+			return x2y.SolveWithOptions(set, ySet, q, x2y.Options{Policy: binpack.WorstFitDecreasing, OptimizeSplit: true})
+		}},
+	}
+	if set.Len()+ySet.Len() <= defaultGreedyMaxInputs {
+		cands = append(cands, candidate{"x2y/greedy", func() (*core.MappingSchema, error) { return x2y.Greedy(set, ySet, q) }})
+	}
+	if max := budget.exactMaxInputs(); max > 0 && set.Len()+ySet.Len() <= max {
+		cands = append(cands, candidate{"x2y/exact", func() (*core.MappingSchema, error) {
+			ms, err := x2y.Exact(set, ySet, q, x2y.ExactOptions{MaxInputs: max, MaxNodes: budget.exactMaxNodes()})
+			if errors.Is(err, x2y.ErrNodeBudget) {
+				err = nil
+			}
+			return ms, err
+		}})
+	}
+	return cands
+}
+
+// solvePortfolio races the portfolio members and picks the best schema:
+// fewest reducers, then smallest maximum load, then member name for
+// determinism. The baseline member (index 0) is always awaited even past the
+// deadline; slower members are dropped once the budget expires.
+func (p *Planner) solvePortfolio(ctx context.Context, cn *canonical, budget Budget) (*cachedPlan, error) {
+	set, ySet, err := cn.inputSets()
+	if err != nil {
+		return nil, err
+	}
+	cands := portfolio(cn, set, ySet, budget)
+	type memberResult struct {
+		idx    int
+		schema *core.MappingSchema
+		err    error
+	}
+	results := make(chan memberResult, len(cands))
+	for i, c := range cands {
+		go func(i int, c candidate) {
+			ms, err := c.run()
+			results <- memberResult{idx: i, schema: ms, err: err}
+		}(i, c)
+	}
+
+	var timerCh <-chan time.Time
+	if d := budget.timeout(); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerCh = timer.C
+	}
+	ctxCh := ctx.Done()
+
+	var best *core.MappingSchema
+	var bestName string
+	var baselineErr error
+	baselineDone, expired := false, false
+	received, finished := 0, 0
+	for received < len(cands) && !(expired && baselineDone) {
+		select {
+		case r := <-results:
+			received++
+			if r.idx == 0 {
+				baselineDone = true
+				baselineErr = r.err
+			}
+			if r.err != nil || r.schema == nil {
+				continue
+			}
+			finished++
+			if best == nil || schemaLess(r.schema, cands[r.idx].name, best, bestName) {
+				best, bestName = r.schema, cands[r.idx].name
+			}
+		case <-timerCh:
+			timerCh, expired = nil, true
+		case <-ctxCh:
+			// Cancellation is authoritative: return the best schema received
+			// so far, or fail if none. (Budget.Timeout, by contrast, always
+			// awaits the baseline so its guarantees survive a tight budget;
+			// the cached-flight path solves under context.Background and is
+			// only ever bounded by the budget.)
+			if best == nil {
+				return nil, ctx.Err()
+			}
+			expired, baselineDone = true, true
+		}
+	}
+	if best == nil {
+		if baselineErr != nil {
+			return nil, baselineErr
+		}
+		return nil, fmt.Errorf("planner: no portfolio member produced a schema")
+	}
+
+	var lower int
+	if cn.problem == core.ProblemA2A {
+		lower = a2a.LowerBounds(set, cn.q).Reducers
+	} else {
+		lower = x2y.LowerBounds(set, ySet, cn.q).Reducers
+	}
+	return &cachedPlan{schema: best, winner: bestName, lowerBound: lower, candidates: finished}, nil
+}
+
+// schemaLess reports whether schema a (from member na) beats schema b (from
+// member nb): fewer reducers, then smaller max load, then name order.
+func schemaLess(a *core.MappingSchema, na string, b *core.MappingSchema, nb string) bool {
+	if a.NumReducers() != b.NumReducers() {
+		return a.NumReducers() < b.NumReducers()
+	}
+	la, lb := maxLoad(a), maxLoad(b)
+	if la != lb {
+		return la < lb
+	}
+	return na < nb
+}
+
+func maxLoad(ms *core.MappingSchema) core.Size {
+	var max core.Size
+	for _, r := range ms.Reducers {
+		if r.Load > max {
+			max = r.Load
+		}
+	}
+	return max
+}
+
+// CacheLen reports how many canonical plans are currently cached.
+func (p *Planner) CacheLen() int {
+	if p.cache == nil {
+		return 0
+	}
+	return p.cache.len()
+}

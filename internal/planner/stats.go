@@ -1,0 +1,66 @@
+package planner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stats holds the planner's internal counters. Counters are atomics so the
+// hot path never takes a lock; the per-winner map is guarded separately.
+type stats struct {
+	requests atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	shared   atomic.Uint64
+	errors   atomic.Uint64
+
+	mu   sync.Mutex
+	wins map[string]uint64
+}
+
+func (s *stats) recordWin(name string) {
+	s.mu.Lock()
+	if s.wins == nil {
+		s.wins = make(map[string]uint64)
+	}
+	s.wins[name]++
+	s.mu.Unlock()
+}
+
+// Stats is a snapshot of a planner's counters.
+type Stats struct {
+	// Requests counts every Plan call, including failed ones.
+	Requests uint64 `json:"requests"`
+	// CacheHits counts requests served from a completed cache entry.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts requests that ran the portfolio themselves.
+	CacheMisses uint64 `json:"cache_misses"`
+	// SharedFlights counts requests that waited on a concurrent identical
+	// solve instead of re-solving (single-flight).
+	SharedFlights uint64 `json:"shared_flights"`
+	// Errors counts failed requests.
+	Errors uint64 `json:"errors"`
+	// CacheEntries is the current number of cached canonical plans.
+	CacheEntries int `json:"cache_entries"`
+	// SolverWins counts, per portfolio member, how many fresh solves it won.
+	SolverWins map[string]uint64 `json:"solver_wins"`
+}
+
+// Stats snapshots the planner's counters.
+func (p *Planner) Stats() Stats {
+	st := Stats{
+		Requests:      p.stats.requests.Load(),
+		CacheHits:     p.stats.hits.Load(),
+		CacheMisses:   p.stats.misses.Load(),
+		SharedFlights: p.stats.shared.Load(),
+		Errors:        p.stats.errors.Load(),
+		CacheEntries:  p.CacheLen(),
+		SolverWins:    map[string]uint64{},
+	}
+	p.stats.mu.Lock()
+	for k, v := range p.stats.wins {
+		st.SolverWins[k] = v
+	}
+	p.stats.mu.Unlock()
+	return st
+}

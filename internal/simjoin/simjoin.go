@@ -1,6 +1,7 @@
 package simjoin
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/binpack"
 	"repro/internal/core"
 	"repro/internal/mr"
+	"repro/internal/planner"
 	"repro/internal/workload"
 )
 
@@ -62,10 +64,6 @@ func Run(docs []workload.Document, cfg Config) (*Result, error) {
 	if cfg.Capacity <= 0 {
 		return nil, fmt.Errorf("simjoin: capacity must be positive, got %d", cfg.Capacity)
 	}
-	policy := cfg.Policy
-	if !cfg.PolicySet && policy == binpack.FirstFit {
-		policy = binpack.FirstFitDecreasing
-	}
 
 	// The inputs of the A2A instance are the documents; their sizes are the
 	// document sizes in bytes.
@@ -80,7 +78,7 @@ func Run(docs []workload.Document, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("simjoin: building the input set: %w", err)
 	}
-	schema, err := a2a.SolveWithOptions(set, cfg.Capacity, a2a.Options{Policy: policy, PreferEqualSized: true})
+	schema, err := buildSchema(set, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("simjoin: building the mapping schema: %w", err)
 	}
@@ -125,6 +123,28 @@ func Run(docs []workload.Document, cfg Config) (*Result, error) {
 	}
 	SortPairs(res.Pairs)
 	return res, nil
+}
+
+// buildSchema computes the A2A mapping schema for the document sizes. The
+// default configuration plans through the shared planner facade — the
+// portfolio never does worse than a2a.Solve and isomorphic corpora hit its
+// canonicalization cache. An explicitly chosen packing policy (PolicySet, or
+// any non-default Policy) bypasses the portfolio so ablations still measure
+// exactly the algorithm they name.
+func buildSchema(set *core.InputSet, cfg Config) (*core.MappingSchema, error) {
+	if policy, defaulted := binpack.ResolvePolicy(cfg.Policy, cfg.PolicySet); !defaulted {
+		return a2a.SolveWithOptions(set, cfg.Capacity, a2a.Options{Policy: policy, PreferEqualSized: true})
+	}
+	res, err := planner.Plan(context.Background(), planner.Request{
+		Problem: core.ProblemA2A, Set: set, Capacity: cfg.Capacity,
+		// Await every portfolio member so results stay deterministic
+		// under load (experiment tables depend on it).
+		Budget: planner.Budget{Timeout: -1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Schema, nil
 }
 
 // replicatingMapper emits one copy of the document per reducer the mapping
@@ -187,22 +207,9 @@ func comparingReducer(cfg Config, assignments [][]int) mr.Reducer {
 	})
 }
 
-// owner returns the smallest reducer index that holds both documents; the
-// assignment lists are ascending, so a merge scan finds it.
+// owner returns the smallest reducer index that holds both documents.
 func owner(assignments [][]int, a, b int) int {
-	la, lb := assignments[a], assignments[b]
-	i, j := 0, 0
-	for i < len(la) && j < len(lb) {
-		switch {
-		case la[i] == lb[j]:
-			return la[i]
-		case la[i] < lb[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return -1
+	return mr.LowestCommonReducer(assignments[a], assignments[b])
 }
 
 // NestedLoopReference computes the similar pairs with a plain in-memory

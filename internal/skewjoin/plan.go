@@ -11,12 +11,14 @@
 package skewjoin
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/binpack"
 	"repro/internal/core"
 	"repro/internal/mr"
+	"repro/internal/planner"
 	"repro/internal/workload"
 	"repro/internal/x2y"
 )
@@ -42,11 +44,10 @@ type Config struct {
 	CountOnly bool
 }
 
+// policy resolves the configured packing heuristic via binpack.ResolvePolicy.
 func (c Config) policy() binpack.Policy {
-	if !c.PolicySet && c.Policy == binpack.FirstFit {
-		return binpack.FirstFitDecreasing
-	}
-	return c.Policy
+	p, _ := binpack.ResolvePolicy(c.Policy, c.PolicySet)
+	return p
 }
 
 func (c Config) blockSize() core.Size {
@@ -77,6 +78,27 @@ type Plan struct {
 	// and one-sided keys map to at most one reducer.
 	xDest [][]int
 	yDest [][]int
+	// xBlock and yBlock give, for every tuple index, the ordinal of the
+	// heavy-key block the tuple belongs to, or -1 for light and one-sided
+	// tuples.
+	xBlock []int
+	yBlock []int
+	// heavyXDest and heavyYDest give, per heavy key, the ascending global
+	// reducer lists of every block. The join reducers use them to elect a
+	// single owner per block pair, since a schema may cover a pair more than
+	// once.
+	heavyXDest map[string][][]int
+	heavyYDest map[string][][]int
+}
+
+// pairOwner returns the lowest-indexed reducer that holds both the bx-th X
+// block and the by-th Y block of the heavy key, or -1 when they share none.
+func (p *Plan) pairOwner(key string, bx, by int) int {
+	xd, yd := p.heavyXDest[key], p.heavyYDest[key]
+	if bx < 0 || by < 0 || bx >= len(xd) || by >= len(yd) {
+		return -1
+	}
+	return mr.LowestCommonReducer(xd[bx], yd[by])
 }
 
 // XDestinations returns the reducer assignments of the X-relation tuple with
@@ -102,6 +124,8 @@ func BuildPlan(x, y *workload.Relation, cfg Config) (*Plan, error) {
 		HeavySchemas: map[string]*core.MappingSchema{},
 		xDest:        make([][]int, len(x.Tuples)),
 		yDest:        make([][]int, len(y.Tuples)),
+		xBlock:       fillNegative(len(x.Tuples)),
+		yBlock:       fillNegative(len(y.Tuples)),
 	}
 
 	// Classify keys.
@@ -155,8 +179,7 @@ func BuildPlan(x, y *workload.Relation, cfg Config) (*Plan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("skewjoin: heavy key %q Y blocks: %w", k, err)
 		}
-		schema, err := x2y.SolveWithOptions(xSet, ySet, cfg.Capacity,
-			x2y.Options{Policy: cfg.policy(), OptimizeSplit: true})
+		schema, err := heavySchema(xSet, ySet, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("skewjoin: heavy key %q mapping schema: %w", k, err)
 		}
@@ -168,11 +191,45 @@ func BuildPlan(x, y *workload.Relation, cfg Config) (*Plan, error) {
 		heavyXBlocks[k] = offsetAll(xAssign, base)
 		heavyYBlocks[k] = offsetAll(yAssign, base)
 	}
+	plan.heavyXDest = heavyXBlocks
+	plan.heavyYDest = heavyYBlocks
 
 	// Per-tuple destinations.
-	fillDestinations(plan.xDest, x, ySizes, lightReducerOf, xBlocks, heavyXBlocks)
-	fillDestinations(plan.yDest, y, xSizes, lightReducerOf, yBlocks, heavyYBlocks)
+	fillDestinations(plan.xDest, plan.xBlock, x, lightReducerOf, xBlocks, heavyXBlocks)
+	fillDestinations(plan.yDest, plan.yBlock, y, lightReducerOf, yBlocks, heavyYBlocks)
 	return plan, nil
+}
+
+// fillNegative returns a slice of n elements all set to -1.
+func fillNegative(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+// heavySchema solves the X2Y instance of one heavy hitter. The default
+// configuration plans through the shared planner facade: heavy keys with
+// isomorphic block-size multisets — common when blocks are cut at a fixed
+// byte boundary — are then solved once and served from the canonicalization
+// cache. An explicitly chosen packing policy bypasses the portfolio so
+// ablations measure the named heuristic.
+func heavySchema(xSet, ySet *core.InputSet, cfg Config) (*core.MappingSchema, error) {
+	if policy, defaulted := binpack.ResolvePolicy(cfg.Policy, cfg.PolicySet); !defaulted {
+		return x2y.SolveWithOptions(xSet, ySet, cfg.Capacity,
+			x2y.Options{Policy: policy, OptimizeSplit: true})
+	}
+	res, err := planner.Plan(context.Background(), planner.Request{
+		Problem: core.ProblemX2Y, X: xSet, Y: ySet, Capacity: cfg.Capacity,
+		// Await every portfolio member so results stay deterministic
+		// under load (experiment tables depend on it).
+		Budget: planner.Budget{Timeout: -1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Schema, nil
 }
 
 // block holds the tuple indexes of one block of a heavy key.
@@ -242,8 +299,8 @@ func offsetAll(assign [][]int, base int) [][]int {
 // fillDestinations assigns, for each tuple of the relation, the list of
 // global reducers it is shipped to: the light reducer of its key, the heavy
 // block assignments, or nothing when the key has no counterpart on the other
-// side.
-func fillDestinations(dest [][]int, rel *workload.Relation, otherSizes map[string]int,
+// side. blockOrd records the block ordinal of every heavy tuple.
+func fillDestinations(dest [][]int, blockOrd []int, rel *workload.Relation,
 	lightReducerOf map[string]int, blocks map[string][]block, heavyBlockDest map[string][][]int) {
 	// Map tuple index -> block ordinal for heavy keys.
 	blockOf := map[int]int{}
@@ -263,12 +320,11 @@ func fillDestinations(dest [][]int, rel *workload.Relation, otherSizes map[strin
 		}
 		if k, ok := blockKey[i]; ok {
 			dest[i] = heavyBlockDest[k][blockOf[i]]
+			blockOrd[i] = blockOf[i]
 			continue
 		}
-		if _, onOtherSide := otherSizes[t.Key]; !onOtherSide {
-			dest[i] = nil // one-sided key: contributes nothing to the join
-			continue
-		}
+		// Neither light nor heavy: the key exists on one side only and
+		// contributes nothing to the join.
 		dest[i] = nil
 	}
 }

@@ -3,6 +3,7 @@ package skewjoin
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -50,7 +51,7 @@ func Run(x, y *workload.Relation, cfg Config) (*Result, error) {
 	job := &mr.Job{
 		Name:              "skew-join",
 		Mapper:            planMapper(plan),
-		Reducer:           joinReducer(cfg),
+		Reducer:           joinReducer(cfg, plan),
 		NumReducers:       plan.NumReducers,
 		Partitioner:       mr.SchemaPartitioner,
 		ReduceParallelism: cfg.Workers,
@@ -87,9 +88,11 @@ func Run(x, y *workload.Relation, cfg Config) (*Result, error) {
 //
 //	"X|<tupleIndex>|<key>|<payload>"
 //
-// Shuffle values drop the index (the reducer does not need it):
+// Shuffle values replace the index with the tuple's heavy-key block ordinal
+// (-1 for light and one-sided tuples), which the reducer needs to elect one
+// owner per block pair:
 //
-//	"X|<key>|<payload>"
+//	"X|<block>|<key>|<payload>"
 
 func encodeRelations(x, y *workload.Relation) [][]byte {
 	records := make([][]byte, 0, len(x.Tuples)+len(y.Tuples))
@@ -118,16 +121,20 @@ func decodeInput(rec []byte) (side byte, idx int, key, payload string, err error
 	return parts[0][0], idx, parts[2], parts[3], nil
 }
 
-func encodeShuffleValue(side byte, key, payload string) []byte {
-	return []byte(string(side) + "|" + key + "|" + payload)
+func encodeShuffleValue(side byte, block int, key, payload string) []byte {
+	return []byte(string(side) + "|" + strconv.Itoa(block) + "|" + key + "|" + payload)
 }
 
-func decodeShuffleValue(v []byte) (side byte, key, payload string, err error) {
-	parts := strings.SplitN(string(v), "|", 3)
-	if len(parts) != 3 || len(parts[0]) != 1 {
-		return 0, "", "", fmt.Errorf("skewjoin: malformed shuffle value %q", v)
+func decodeShuffleValue(v []byte) (side byte, block int, key, payload string, err error) {
+	parts := strings.SplitN(string(v), "|", 4)
+	if len(parts) != 4 || len(parts[0]) != 1 {
+		return 0, 0, "", "", fmt.Errorf("skewjoin: malformed shuffle value %q", v)
 	}
-	return parts[0][0], parts[1], parts[2], nil
+	block, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, "", "", fmt.Errorf("skewjoin: malformed block ordinal in %q: %w", v, err)
+	}
+	return parts[0][0], block, parts[2], parts[3], nil
 }
 
 func encodeJoined(t JoinedTuple) []byte {
@@ -150,21 +157,22 @@ func planMapper(plan *Plan) mr.Mapper {
 			return err
 		}
 		var dests []int
+		block := -1
 		switch side {
 		case 'X':
 			if idx < 0 || idx >= len(plan.xDest) {
 				return fmt.Errorf("skewjoin: X tuple index %d out of range", idx)
 			}
-			dests = plan.xDest[idx]
+			dests, block = plan.xDest[idx], plan.xBlock[idx]
 		case 'Y':
 			if idx < 0 || idx >= len(plan.yDest) {
 				return fmt.Errorf("skewjoin: Y tuple index %d out of range", idx)
 			}
-			dests = plan.yDest[idx]
+			dests, block = plan.yDest[idx], plan.yBlock[idx]
 		default:
 			return fmt.Errorf("skewjoin: unknown relation side %q", string(side))
 		}
-		value := encodeShuffleValue(side, key, payload)
+		value := encodeShuffleValue(side, block, key, payload)
 		for _, r := range dests {
 			emit(mr.Pair{Key: mr.ReducerKey(r), Value: value})
 		}
@@ -172,16 +180,28 @@ func planMapper(plan *Plan) mr.Mapper {
 	})
 }
 
-// joinReducer joins the X and Y tuples it receives, key by key.
-func joinReducer(cfg Config) mr.Reducer {
-	return mr.ReducerFunc(func(_ string, values [][]byte, emit func([]byte)) error {
-		xByKey := map[string][]string{}
-		yByKey := map[string][]string{}
+// joinReducer joins the X and Y tuples it receives, key by key, block pair
+// by block pair. A mapping schema is free to assign a heavy key's block pair
+// to more than one reducer (the constructive grid never does, but the
+// planner portfolio's greedy and exact members may); when a plan is given,
+// only the lowest-indexed reducer holding both blocks — their owner — emits
+// that pair's output. The hash-join baseline passes a nil plan: every key
+// lands on exactly one reducer there, so no ownership check is needed.
+func joinReducer(cfg Config, plan *Plan) mr.Reducer {
+	return mr.ReducerFunc(func(reducerKey string, values [][]byte, emit func([]byte)) error {
+		// A key is either light (every tuple ships with block -1, at most one
+		// reducer holds it) or heavy (every tuple carries its block ordinal).
+		// Light keys — the bulk of most workloads — stay on the flat-slice
+		// path; only heavy keys pay for per-block grouping and ownership.
+		xLight := map[string][]string{}
+		yLight := map[string][]string{}
+		xHeavy := map[string]map[int][]string{}
+		yHeavy := map[string]map[int][]string{}
 		// Keys must be emitted in a deterministic order.
 		var keys []string
 		seen := map[string]bool{}
 		for _, v := range values {
-			side, key, payload, err := decodeShuffleValue(v)
+			side, block, key, payload, err := decodeShuffleValue(v)
 			if err != nil {
 				return err
 			}
@@ -189,23 +209,37 @@ func joinReducer(cfg Config) mr.Reducer {
 				seen[key] = true
 				keys = append(keys, key)
 			}
+			var light map[string][]string
+			var heavy map[string]map[int][]string
 			switch side {
 			case 'X':
-				xByKey[key] = append(xByKey[key], payload)
+				light, heavy = xLight, xHeavy
 			case 'Y':
-				yByKey[key] = append(yByKey[key], payload)
+				light, heavy = yLight, yHeavy
 			default:
 				return fmt.Errorf("skewjoin: unknown side %q in shuffle value", string(side))
 			}
-		}
-		for _, key := range keys {
-			xv, yv := xByKey[key], yByKey[key]
-			if len(xv) == 0 || len(yv) == 0 {
+			if block < 0 {
+				light[key] = append(light[key], payload)
 				continue
 			}
+			if heavy[key] == nil {
+				heavy[key] = map[int][]string{}
+			}
+			heavy[key][block] = append(heavy[key][block], payload)
+		}
+		reducerIdx := -1
+		if plan != nil {
+			idx, err := mr.ParseReducerKey(reducerKey)
+			if err != nil {
+				return fmt.Errorf("skewjoin: unexpected reducer key %q: %w", reducerKey, err)
+			}
+			reducerIdx = idx
+		}
+		emitPair := func(key string, xv, yv []string) {
 			if cfg.CountOnly {
 				emit([]byte(strconv.FormatInt(int64(len(xv))*int64(len(yv)), 10)))
-				continue
+				return
 			}
 			for _, a := range xv {
 				for _, c := range yv {
@@ -213,8 +247,36 @@ func joinReducer(cfg Config) mr.Reducer {
 				}
 			}
 		}
+		for _, key := range keys {
+			if xv, yv := xLight[key], yLight[key]; len(xv) > 0 && len(yv) > 0 {
+				emitPair(key, xv, yv)
+				continue
+			}
+			xBlocks, yBlocks := xHeavy[key], yHeavy[key]
+			if len(xBlocks) == 0 || len(yBlocks) == 0 {
+				continue
+			}
+			yOrds := sortedBlockOrdinals(yBlocks)
+			for _, bx := range sortedBlockOrdinals(xBlocks) {
+				for _, by := range yOrds {
+					if plan != nil && plan.pairOwner(key, bx, by) != reducerIdx {
+						continue
+					}
+					emitPair(key, xBlocks[bx], yBlocks[by])
+				}
+			}
+		}
 		return nil
 	})
+}
+
+func sortedBlockOrdinals(blocks map[int][]string) []int {
+	out := make([]int, 0, len(blocks))
+	for b := range blocks {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // ReferenceJoin computes the join with an in-memory hash join; it is the

@@ -276,12 +276,15 @@ func TestEncodingRoundTrips(t *testing.T) {
 	}
 	_ = payload
 
-	s, k, p, err := decodeShuffleValue(encodeShuffleValue('Y', "key1", "payload"))
-	if err != nil || s != 'Y' || k != "key1" || p != "payload" {
-		t.Errorf("shuffle round trip = %c %q %q %v", s, k, p, err)
+	s, b, k, p, err := decodeShuffleValue(encodeShuffleValue('Y', 3, "key1", "payload"))
+	if err != nil || s != 'Y' || b != 3 || k != "key1" || p != "payload" {
+		t.Errorf("shuffle round trip = %c %d %q %q %v", s, b, k, p, err)
 	}
-	if _, _, _, err := decodeShuffleValue([]byte("garbage")); err == nil {
+	if _, _, _, _, err := decodeShuffleValue([]byte("garbage")); err == nil {
 		t.Error("decoded malformed shuffle value")
+	}
+	if _, _, _, _, err := decodeShuffleValue([]byte("Y|x|k|p")); err == nil {
+		t.Error("decoded non-numeric block ordinal")
 	}
 	if _, _, _, _, err := decodeInput([]byte("nope")); err == nil {
 		t.Error("decoded malformed input record")
