@@ -17,6 +17,7 @@ import (
 	"repro/internal/a2a"
 	"repro/internal/binpack"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/planner"
 	"repro/internal/simjoin"
@@ -192,6 +193,59 @@ func BenchmarkPlannerCached(b *testing.B) {
 		}
 		if !res.CacheHit {
 			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkExecBatch measures the schema-driven execution layer under
+// service-style traffic: a batch of schema-driven jobs — planned once through
+// the shared facade, so iterations exercise execution, not solving — runs
+// end-to-end (compile, map, shuffle, owner-elected pair reduction, and the
+// conformance audit) on a bounded worker pool.
+func BenchmarkExecBatch(b *testing.B) {
+	sizes, err := workload.Sizes(workload.SizeSpec{Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.3}, 40, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := core.MustNewInputSet(sizes)
+	plan, err := planner.Plan(context.Background(), planner.Request{
+		Problem: core.ProblemA2A, Set: set, Capacity: 64,
+		Budget: planner.Budget{Timeout: -1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([][]byte, len(sizes))
+	for i, s := range sizes {
+		inputs[i] = make([]byte, s)
+	}
+	const jobs = 16
+	reqs := make([]exec.Request, jobs)
+	for i := range reqs {
+		reqs[i] = exec.Request{
+			Name:   fmt.Sprintf("bench-job-%d", i),
+			Plan:   plan,
+			Inputs: inputs,
+			Pair: func(x, y exec.Record, emit func([]byte)) error {
+				if len(x.Data)+len(y.Data) > 0 {
+					emit([]byte{byte(x.ID), byte(y.ID)})
+				}
+				return nil
+			},
+		}
+	}
+	wantPairs := int64(len(sizes) * (len(sizes) - 1) / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := exec.RunBatch(context.Background(), reqs, exec.BatchOptions{Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.PairsProcessed != wantPairs {
+				b.Fatalf("job processed %d pairs, want %d", r.PairsProcessed, wantPairs)
+			}
 		}
 	}
 }

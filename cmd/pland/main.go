@@ -6,15 +6,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/plan   {"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}
-//	                {"problem":"X2Y","capacity":10,"x_sizes":[7,2,1],"y_sizes":[1,2,1,1]}
-//	GET  /v1/stats  cache and solver-win counters
-//	GET  /healthz   liveness probe
+//	POST /v1/plan     {"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}
+//	                  {"problem":"X2Y","capacity":10,"x_sizes":[7,2,1],"y_sizes":[1,2,1,1]}
+//	POST /v1/execute  {"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"]}
+//	                  plan-and-run: plans the instance (input sizes are the
+//	                  payload byte lengths), executes the schema on the
+//	                  MapReduce engine via internal/exec, and returns the
+//	                  audited execution alongside the plan
+//	GET  /v1/stats    cache and solver-win counters
+//	GET  /healthz     liveness probe
 //
 // Example:
 //
 //	pland -addr :8080 -cache 8192 -timeout 500ms
 //	curl -s localhost:8080/v1/plan -d '{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}'
+//	curl -s localhost:8080/v1/execute -d '{"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"]}'
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/planner"
 )
 
@@ -41,6 +48,7 @@ func main() {
 		maxTimeout = fs.Duration("max-timeout", 10*time.Second, "largest per-request budget a client may ask for")
 		maxBody    = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
 		maxInputs  = fs.Int("max-inputs", 200_000, "largest accepted instance size (total inputs)")
+		maxExec    = fs.Int("max-exec-inputs", 1000, "largest instance /v1/execute runs (pair work is quadratic)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -55,6 +63,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 		MaxInputs:      *maxInputs,
+		MaxExecInputs:  *maxExec,
 	})
 	log.Printf("pland: listening on %s (cache=%d entries, default budget %v)", *addr, *cacheSize, *timeout)
 	hs := &http.Server{
@@ -79,6 +88,9 @@ type serverConfig struct {
 	MaxTimeout     time.Duration
 	MaxBodyBytes   int64
 	MaxInputs      int
+	// MaxExecInputs caps /v1/execute instances separately: execution does
+	// quadratic pair work, so its ceiling sits far below the planning cap.
+	MaxExecInputs int
 }
 
 // server is the HTTP front end over a Planner. It is a plain http.Handler so
@@ -103,8 +115,12 @@ func newServer(p *planner.Planner, cfg serverConfig) *server {
 	if cfg.MaxInputs <= 0 {
 		cfg.MaxInputs = 200_000
 	}
+	if cfg.MaxExecInputs <= 0 {
+		cfg.MaxExecInputs = 1000
+	}
 	s := &server{planner: p, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/execute", s.handleExecute)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -171,30 +187,13 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	budget := s.cfg.DefaultTimeout
-	switch {
-	case body.TimeoutMS < 0:
-		budget = -1 // await-all mode; the request context still bounds the wait
-	case body.TimeoutMS > 0:
-		// Clamp in milliseconds before converting so huge values cannot
-		// overflow time.Duration and dodge the cap.
-		ms := int64(body.TimeoutMS)
-		if maxMS := s.cfg.MaxTimeout.Milliseconds(); ms > maxMS {
-			ms = maxMS
-		}
-		budget = time.Duration(ms) * time.Millisecond
-	}
-	req.Budget.Timeout = budget
+	req.Budget.Timeout = s.requestBudget(body.TimeoutMS)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 	defer cancel()
 
 	res, err := s.planner.Plan(ctx, req)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = http.StatusGatewayTimeout
-		}
-		writeError(w, status, err.Error())
+		writePlanError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, planResponse{
@@ -211,6 +210,35 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		SharedFlight:       res.SharedFlight,
 		ElapsedMicros:      res.Elapsed.Microseconds(),
 	})
+}
+
+// requestBudget resolves a client timeout override against the server's caps.
+func (s *server) requestBudget(timeoutMS int) time.Duration {
+	switch {
+	case timeoutMS < 0:
+		return -1 // await-all mode; the request context still bounds the wait
+	case timeoutMS > 0:
+		// Clamp in milliseconds before converting so huge values cannot
+		// overflow time.Duration and dodge the cap.
+		ms := int64(timeoutMS)
+		if maxMS := s.cfg.MaxTimeout.Milliseconds(); ms > maxMS {
+			ms = maxMS
+		}
+		return time.Duration(ms) * time.Millisecond
+	default:
+		return s.cfg.DefaultTimeout
+	}
+}
+
+// writePlanError maps a planner failure to a status: budget/context
+// exhaustion is a gateway timeout, everything else (e.g. an infeasible
+// instance) is unprocessable.
+func writePlanError(w http.ResponseWriter, err error) {
+	status := http.StatusUnprocessableEntity
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		status = http.StatusGatewayTimeout
+	}
+	writeError(w, status, err.Error())
 }
 
 // buildRequest translates the wire request into a planner request.
@@ -247,6 +275,171 @@ func (s *server) buildRequest(body planRequest) (planner.Request, error) {
 		return req, fmt.Errorf("problem must be A2A or X2Y, got %q", body.Problem)
 	}
 	return req, nil
+}
+
+// executeRequest is the JSON body of POST /v1/execute. Input sizes are the
+// payload byte lengths, so the planned schema's capacity bound is about the
+// very bytes that are shuffled.
+type executeRequest struct {
+	// Problem is "A2A" or "X2Y".
+	Problem string `json:"problem"`
+	// Capacity is the reducer capacity q in bytes.
+	Capacity core.Size `json:"capacity"`
+	// Inputs holds the A2A payloads; XInputs/YInputs the X2Y sides.
+	Inputs  []string `json:"inputs,omitempty"`
+	XInputs []string `json:"x_inputs,omitempty"`
+	YInputs []string `json:"y_inputs,omitempty"`
+	// TimeoutMS and NoCache tune the planning step exactly as in /v1/plan.
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+	// ReturnPairs includes the processed pair IDs in the response (capped).
+	ReturnPairs bool `json:"return_pairs,omitempty"`
+}
+
+// executeResponse is the JSON answer of POST /v1/execute.
+type executeResponse struct {
+	Schema         *core.MappingSchema `json:"schema"`
+	Reducers       int                 `json:"reducers"`
+	Winner         string              `json:"winner"`
+	CacheHit       bool                `json:"cache_hit"`
+	Pairs          int64               `json:"pairs"`
+	PairIDs        []string            `json:"pair_ids,omitempty"`
+	ShuffleRecords int64               `json:"shuffle_records"`
+	ShuffleBytes   int64               `json:"shuffle_bytes"`
+	MaxReducerLoad int64               `json:"max_reducer_load"`
+	Audited        bool                `json:"audited"`
+	ElapsedMicros  int64               `json:"elapsed_us"`
+}
+
+// maxReturnedPairs caps the pair list a single response may carry.
+const maxReturnedPairs = 10_000
+
+func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body executeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	req, inputs, xInputs, yInputs, err := s.buildExecuteRequest(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.Budget.Timeout = s.requestBudget(body.TimeoutMS)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+	defer cancel()
+
+	plan, err := s.planner.Plan(ctx, req)
+	if err != nil {
+		writePlanError(w, err)
+		return
+	}
+	// Execution has no cancellation points (its work is bounded by
+	// MaxExecInputs instead), so at least don't start it for a request whose
+	// budget the planning step already exhausted.
+	if err := ctx.Err(); err != nil {
+		writePlanError(w, err)
+		return
+	}
+	returnPairs := body.ReturnPairs
+	execRes, err := exec.Run(exec.Request{
+		Name:    "pland-execute",
+		Plan:    plan,
+		Inputs:  inputs,
+		XInputs: xInputs,
+		YInputs: yInputs,
+		Pair: func(a, b exec.Record, emit func([]byte)) error {
+			// The pair count comes from the executor's trace; materialize the
+			// IDs only when the client asked for them.
+			if returnPairs {
+				emit([]byte(fmt.Sprintf("%d,%d", a.ID, b.ID)))
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		// The schema was just planned and validated, so an execution or audit
+		// failure is a server-side defect, not a client error.
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("executing plan: %v", err))
+		return
+	}
+	resp := executeResponse{
+		Schema:         plan.Schema,
+		Reducers:       plan.Schema.NumReducers(),
+		Winner:         plan.Winner,
+		CacheHit:       plan.CacheHit,
+		Pairs:          execRes.PairsProcessed,
+		ShuffleRecords: execRes.Counters.ShuffleRecords,
+		ShuffleBytes:   execRes.Counters.ShuffleBytes,
+		MaxReducerLoad: execRes.Counters.MaxReducerLoad,
+		Audited:        execRes.Audited,
+		ElapsedMicros:  time.Since(start).Microseconds(),
+	}
+	if body.ReturnPairs {
+		for i, rec := range execRes.Output {
+			if i >= maxReturnedPairs {
+				break
+			}
+			resp.PairIDs = append(resp.PairIDs, string(rec))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildExecuteRequest validates the execute body and derives the planner
+// request plus the executor inputs.
+func (s *server) buildExecuteRequest(body executeRequest) (planner.Request, [][]byte, [][]byte, [][]byte, error) {
+	req := planner.Request{Capacity: body.Capacity, NoCache: body.NoCache}
+	if body.Capacity <= 0 {
+		return req, nil, nil, nil, fmt.Errorf("capacity must be positive, got %d", body.Capacity)
+	}
+	if n := len(body.Inputs) + len(body.XInputs) + len(body.YInputs); n > s.cfg.MaxExecInputs {
+		return req, nil, nil, nil, fmt.Errorf("instance has %d inputs, execution limit is %d", n, s.cfg.MaxExecInputs)
+	}
+	toSizes := func(field string, payloads []string) (*core.InputSet, [][]byte, error) {
+		sizes := make([]core.Size, len(payloads))
+		data := make([][]byte, len(payloads))
+		for i, p := range payloads {
+			sizes[i] = core.Size(len(p))
+			data[i] = []byte(p)
+		}
+		set, err := core.NewInputSet(sizes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", field, err)
+		}
+		return set, data, nil
+	}
+	switch body.Problem {
+	case "A2A", "a2a":
+		req.Problem = core.ProblemA2A
+		set, data, err := toSizes("inputs", body.Inputs)
+		if err != nil {
+			return req, nil, nil, nil, err
+		}
+		req.Set = set
+		return req, data, nil, nil, nil
+	case "X2Y", "x2y":
+		req.Problem = core.ProblemX2Y
+		xs, xData, err := toSizes("x_inputs", body.XInputs)
+		if err != nil {
+			return req, nil, nil, nil, err
+		}
+		ys, yData, err := toSizes("y_inputs", body.YInputs)
+		if err != nil {
+			return req, nil, nil, nil, err
+		}
+		req.X, req.Y = xs, ys
+		return req, nil, xData, yData, nil
+	default:
+		return req, nil, nil, nil, fmt.Errorf("problem must be A2A or X2Y, got %q", body.Problem)
+	}
 }
 
 // statsResponse is the JSON answer of GET /v1/stats.

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/planner"
@@ -136,6 +137,161 @@ func TestPlanRejectsOversizedInstance(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("oversized instance status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPlanRejectsOversizedBody(t *testing.T) {
+	capped := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{MaxBodyBytes: 64}))
+	defer capped.Close()
+	// A syntactically valid request whose body is longer than the cap.
+	body := `{"problem":"A2A","capacity":10,"sizes":[` + strings.Repeat("1,", 100) + `1]}`
+	for _, path := range []string{"/v1/plan", "/v1/execute"} {
+		resp, err := http.Post(capped.URL+path, "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s oversized body status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPlanBudgetExhaustionMapsToGatewayTimeout(t *testing.T) {
+	// A server whose whole request budget is one nanosecond: the context is
+	// exhausted before any solver can finish, so the planner surfaces the
+	// context error and the handler maps it to 504. NoCache keeps the request
+	// on the context-bounded solve path.
+	srv := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{
+		DefaultTimeout: time.Nanosecond,
+		MaxTimeout:     time.Nanosecond,
+	}))
+	defer srv.Close()
+	var sizes []string
+	for i := 0; i < 5000; i++ {
+		sizes = append(sizes, "1")
+	}
+	body := `{"problem":"A2A","capacity":10,"no_cache":true,"sizes":[` + strings.Join(sizes, ",") + `]}`
+	resp, err := http.Post(srv.URL+"/v1/plan", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("budget exhaustion status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func postExecute(t *testing.T, srv *httptest.Server, body string) (*http.Response, executeResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/execute", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out executeResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decoding execute response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// TestExecuteEndToEndA2A drives the plan-and-run endpoint: the service plans
+// a schema for the payloads, executes it on the engine, and returns the
+// audited run.
+func TestExecuteEndToEndA2A(t *testing.T) {
+	srv := newTestServer(t)
+	resp, out := postExecute(t, srv, `{"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"],"return_pairs":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Pairs != 6 {
+		t.Errorf("pairs = %d, want 6 (all pairs of 4 inputs)", out.Pairs)
+	}
+	if !out.Audited {
+		t.Error("execution was not audited")
+	}
+	if out.Schema == nil || out.Reducers != out.Schema.NumReducers() || out.Reducers == 0 {
+		t.Errorf("schema/reducers inconsistent: %d", out.Reducers)
+	}
+	if len(out.PairIDs) != 6 {
+		t.Errorf("pair_ids = %v, want 6 entries", out.PairIDs)
+	}
+	seen := map[string]bool{}
+	for _, p := range out.PairIDs {
+		if seen[p] {
+			t.Errorf("pair %q returned twice", p)
+		}
+		seen[p] = true
+	}
+	if out.ShuffleBytes == 0 || out.MaxReducerLoad == 0 {
+		t.Error("expected non-zero shuffle accounting")
+	}
+	// Engine loads are the payload bytes (bounded by q per the schema) plus
+	// per-record key and framing overhead.
+	perRecordOverhead := int64(len("r9") + len("a|9|"))
+	if out.MaxReducerLoad > 10+out.ShuffleRecords*perRecordOverhead {
+		t.Errorf("max reducer load %d far exceeds q plus framing", out.MaxReducerLoad)
+	}
+}
+
+func TestExecuteEndToEndX2Y(t *testing.T) {
+	srv := newTestServer(t)
+	resp, out := postExecute(t, srv, `{"problem":"X2Y","capacity":10,"x_inputs":["aaaaaaa","bb","c"],"y_inputs":["d","ee","f","g"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Pairs != 12 {
+		t.Errorf("pairs = %d, want 12 (3x4 cross pairs)", out.Pairs)
+	}
+	if !out.Audited {
+		t.Error("execution was not audited")
+	}
+}
+
+func TestExecuteRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"problem":"A2A","capacity":10}`, http.StatusBadRequest},                          // no inputs
+		{`{"problem":"A2A","capacity":0,"inputs":["a"]}`, http.StatusBadRequest},            // bad capacity
+		{`{"problem":"A2A","capacity":10,"inputs":["a",""]}`, http.StatusBadRequest},        // empty payload
+		{`{"problem":"nope","capacity":10,"inputs":["a"]}`, http.StatusBadRequest},          // bad problem
+		{`{"problem":"A2A","capacity":10,"inputs":["a"],"bogus":1}`, http.StatusBadRequest}, // unknown field
+		{`not json`, http.StatusBadRequest},
+		{`{"problem":"A2A","capacity":2,"inputs":["aaa","bbb"]}`, http.StatusUnprocessableEntity}, // infeasible
+	}
+	for _, tc := range cases {
+		resp, _ := postExecute(t, srv, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("body %q: status = %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+	get, err := http.Get(srv.URL + "/v1/execute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/execute status = %d, want 405", get.StatusCode)
+	}
+}
+
+func TestExecuteRejectsOversizedInstance(t *testing.T) {
+	capped := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{MaxExecInputs: 3}))
+	defer capped.Close()
+	resp, err := http.Post(capped.URL+"/v1/execute", "application/json",
+		bytes.NewBufferString(`{"problem":"A2A","capacity":10,"inputs":["a","b","c","d"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized execute instance status = %d, want 400", resp.StatusCode)
 	}
 }
 

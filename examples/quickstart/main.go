@@ -1,6 +1,7 @@
 // Quickstart: build an A2A mapping schema for a handful of different-sized
-// inputs, validate it, and print its cost — the smallest possible use of the
-// library.
+// inputs, validate it, print its cost, and then actually run it — the
+// executor compiles the schema into a MapReduce job, invokes the pair logic
+// exactly once per required pair, and audits the run against the schema.
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/a2a"
 	"repro/internal/core"
+	"repro/internal/exec"
 )
 
 func main() {
@@ -38,4 +40,25 @@ func main() {
 	for i, r := range schema.Reducers {
 		fmt.Printf("reducer %d (load %d/%d): inputs %v\n", i, r.Load, q, r.Inputs)
 	}
+
+	// Execute the schema: the "files" here are just byte payloads of the
+	// declared sizes, and the pair logic records which pairs met.
+	inputs := make([][]byte, len(sizes))
+	for i, s := range sizes {
+		inputs[i] = make([]byte, s)
+	}
+	res, err := exec.Run(exec.Request{
+		Name:   "quickstart",
+		Schema: schema,
+		Inputs: inputs,
+		Pair: func(a, b exec.Record, emit func([]byte)) error {
+			emit([]byte(fmt.Sprintf("(%d,%d)", a.ID, b.ID)))
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed:         %d pairs met, audited=%v, shuffle=%dB, max reducer load=%dB\n",
+		res.PairsProcessed, res.Audited, res.Counters.ShuffleBytes, res.Counters.MaxReducerLoad)
 }

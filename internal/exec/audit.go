@@ -1,0 +1,308 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+)
+
+// Conformance violation classes. Every violation found by the auditor wraps
+// exactly one of these sentinels, so callers can classify failures with
+// errors.Is even when several violations are aggregated.
+var (
+	// ErrOverCapacity flags a reducer whose declared load exceeds the
+	// schema's capacity q.
+	ErrOverCapacity = errors.New("exec: reducer load exceeds the schema capacity")
+	// ErrUncoveredPair flags a required pair that no reducer owns (statically:
+	// the inputs share no reducer; dynamically: the pair was never processed).
+	ErrUncoveredPair = errors.New("exec: required pair is not covered")
+	// ErrDuplicatePair flags a required pair processed more than once.
+	ErrDuplicatePair = errors.New("exec: required pair processed more than once")
+	// ErrWrongOwner flags a pair processed at a reducer that is not its owner.
+	ErrWrongOwner = errors.New("exec: pair processed at a non-owning reducer")
+	// ErrLoadMismatch flags a reducer whose measured engine load differs from
+	// the load the schema's routing prescribes.
+	ErrLoadMismatch = errors.New("exec: achieved reducer load differs from the schema's routing")
+)
+
+// Violation is one conformance failure.
+type Violation struct {
+	// Err is the violation's class sentinel (one of the errors above).
+	Err error
+	// Reducer is the reducer involved, or -1 when none is.
+	Reducer int
+	// A and B identify the pair involved (input IDs; for X2Y, A is the X-side
+	// ID and B the Y-side ID), or -1 when no pair is involved.
+	A, B int
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// Error implements error.
+func (v Violation) Error() string {
+	return fmt.Sprintf("%v: %s", v.Err, v.Detail)
+}
+
+// Unwrap exposes the class sentinel to errors.Is.
+func (v Violation) Unwrap() error { return v.Err }
+
+// AuditError aggregates every violation found by one audit pass.
+type AuditError struct {
+	Violations []Violation
+}
+
+// Error implements error.
+func (e *AuditError) Error() string {
+	msgs := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		msgs[i] = v.Error()
+	}
+	return fmt.Sprintf("%d conformance violation(s): %s", len(e.Violations), strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes the individual violations, so errors.Is matches any class
+// present in the aggregate.
+func (e *AuditError) Unwrap() []error {
+	errs := make([]error, len(e.Violations))
+	for i := range e.Violations {
+		errs[i] = e.Violations[i]
+	}
+	return errs
+}
+
+// Trace is the concurrent log of processed pairs one execution produces. The
+// compiled reducers record every pair they process; the auditor replays the
+// log against the schema's promises. Tests may also fabricate traces to probe
+// the auditor itself.
+type Trace struct {
+	mu    sync.Mutex
+	pairs map[[2]int][]int // pair -> reducers that processed it
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{pairs: make(map[[2]int][]int)}
+}
+
+// Record logs that the given reducer processed the pair (a, b). For A2A pairs
+// the caller passes a < b; for X2Y, a is the X-side ID and b the Y-side ID.
+func (t *Trace) Record(reducer, a, b int) {
+	t.mu.Lock()
+	t.pairs[[2]int{a, b}] = append(t.pairs[[2]int{a, b}], reducer)
+	t.mu.Unlock()
+}
+
+// Pairs returns how many distinct pairs were recorded.
+func (t *Trace) Pairs() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.pairs))
+}
+
+// processedBy returns the reducers that processed the pair.
+func (t *Trace) processedBy(a, b int) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pairs[[2]int{a, b}]
+}
+
+// Auditor holds the expectations compiled from one schema: the per-input
+// reducer assignments, the instance shape, and (when compiled by Run) the
+// exact per-reducer engine byte loads the routing must produce. It checks a
+// schema before execution (PreCheck) and a completed run after (Check).
+type Auditor struct {
+	schema *core.MappingSchema
+	// aAssign holds A2A per-input assignments; xAssign/yAssign the X2Y sides.
+	aAssign          [][]int
+	xAssign, yAssign [][]int
+	numA, numX, numY int
+	// expectedLoads, when non-nil, enables the engine-load conformance check.
+	expectedLoads []int64
+}
+
+// NewAuditor builds the auditor for an A2A schema over numInputs inputs.
+func NewAuditor(schema *core.MappingSchema, numInputs int) (*Auditor, error) {
+	if schema.Problem != core.ProblemA2A {
+		return nil, fmt.Errorf("exec: NewAuditor needs an A2A schema, got %v", schema.Problem)
+	}
+	if err := checkIDRanges(schema, numInputs, 0, 0); err != nil {
+		return nil, err
+	}
+	return &Auditor{
+		schema:  schema,
+		aAssign: mr.AssignmentsA2A(schema, numInputs),
+		numA:    numInputs,
+	}, nil
+}
+
+// NewAuditorX2Y builds the auditor for an X2Y schema over numX and numY
+// inputs per side.
+func NewAuditorX2Y(schema *core.MappingSchema, numX, numY int) (*Auditor, error) {
+	if schema.Problem != core.ProblemX2Y {
+		return nil, fmt.Errorf("exec: NewAuditorX2Y needs an X2Y schema, got %v", schema.Problem)
+	}
+	if err := checkIDRanges(schema, 0, numX, numY); err != nil {
+		return nil, err
+	}
+	x, y := mr.AssignmentsX2Y(schema, numX, numY)
+	return &Auditor{schema: schema, xAssign: x, yAssign: y, numX: numX, numY: numY}, nil
+}
+
+// checkIDRanges rejects schemas referencing inputs outside the instance; a
+// schema for a different instance is a caller bug, not a conformance finding.
+func checkIDRanges(schema *core.MappingSchema, numA, numX, numY int) error {
+	for r, red := range schema.Reducers {
+		for _, id := range red.Inputs {
+			if id < 0 || id >= numA {
+				return fmt.Errorf("%w: reducer %d references input %d (instance has %d)", ErrBadInputs, r, id, numA)
+			}
+		}
+		for _, id := range red.XInputs {
+			if id < 0 || id >= numX {
+				return fmt.Errorf("%w: reducer %d references X input %d (side has %d)", ErrBadInputs, r, id, numX)
+			}
+		}
+		for _, id := range red.YInputs {
+			if id < 0 || id >= numY {
+				return fmt.Errorf("%w: reducer %d references Y input %d (side has %d)", ErrBadInputs, r, id, numY)
+			}
+		}
+	}
+	return nil
+}
+
+// Owner returns the owning reducer of a required pair: the lowest-indexed
+// reducer both inputs are assigned to, or -1 when they share none. For A2A
+// the arguments are two input IDs; for X2Y an X-side and a Y-side ID.
+func (a *Auditor) Owner(i, j int) int {
+	if a.schema.Problem == core.ProblemA2A {
+		return mr.LowestCommonReducer(a.aAssign[i], a.aAssign[j])
+	}
+	return mr.LowestCommonReducer(a.xAssign[i], a.yAssign[j])
+}
+
+// requiredPairs invokes fn for every required pair of the instance.
+func (a *Auditor) requiredPairs(fn func(i, j int)) {
+	if a.schema.Problem == core.ProblemA2A {
+		for i := 0; i < a.numA; i++ {
+			for j := i + 1; j < a.numA; j++ {
+				fn(i, j)
+			}
+		}
+		return
+	}
+	for x := 0; x < a.numX; x++ {
+		for y := 0; y < a.numY; y++ {
+			fn(x, y)
+		}
+	}
+}
+
+// PreCheck verifies the schema's own promises before anything runs: every
+// declared reducer load is within the capacity q and every required pair has
+// an owning reducer. It returns an *AuditError listing every violation.
+func (a *Auditor) PreCheck() error {
+	var violations []Violation
+	for r, red := range a.schema.Reducers {
+		if red.Load > a.schema.Capacity {
+			violations = append(violations, Violation{
+				Err: ErrOverCapacity, Reducer: r, A: -1, B: -1,
+				Detail: fmt.Sprintf("reducer %d declares load %d > q=%d", r, red.Load, a.schema.Capacity),
+			})
+		}
+	}
+	a.requiredPairs(func(i, j int) {
+		if a.Owner(i, j) < 0 {
+			violations = append(violations, Violation{
+				Err: ErrUncoveredPair, Reducer: -1, A: i, B: j,
+				Detail: fmt.Sprintf("pair (%d,%d) shares no reducer", i, j),
+			})
+		}
+	})
+	if len(violations) > 0 {
+		return &AuditError{Violations: violations}
+	}
+	return nil
+}
+
+// CheckTrace verifies that the run processed every required pair exactly
+// once, at its owning reducer.
+func (a *Auditor) CheckTrace(tr *Trace) error {
+	var violations []Violation
+	a.requiredPairs(func(i, j int) {
+		owner := a.Owner(i, j)
+		got := tr.processedBy(i, j)
+		switch {
+		case len(got) == 0:
+			violations = append(violations, Violation{
+				Err: ErrUncoveredPair, Reducer: owner, A: i, B: j,
+				Detail: fmt.Sprintf("pair (%d,%d) was never processed (owner %d)", i, j, owner),
+			})
+		case len(got) > 1:
+			violations = append(violations, Violation{
+				Err: ErrDuplicatePair, Reducer: owner, A: i, B: j,
+				Detail: fmt.Sprintf("pair (%d,%d) processed by reducers %v", i, j, got),
+			})
+		case got[0] != owner:
+			violations = append(violations, Violation{
+				Err: ErrWrongOwner, Reducer: got[0], A: i, B: j,
+				Detail: fmt.Sprintf("pair (%d,%d) processed at reducer %d, owner is %d", i, j, got[0], owner),
+			})
+		}
+	})
+	if len(violations) > 0 {
+		return &AuditError{Violations: violations}
+	}
+	return nil
+}
+
+// CheckLoads verifies the engine's measured per-partition loads against the
+// exact byte loads the schema's routing prescribes. It is a no-op when the
+// auditor was built without expected loads (i.e. outside Run).
+func (a *Auditor) CheckLoads(c *mr.Counters) error {
+	if a.expectedLoads == nil {
+		return nil
+	}
+	var violations []Violation
+	if len(c.ReducerLoads) != len(a.expectedLoads) {
+		violations = append(violations, Violation{
+			Err: ErrLoadMismatch, Reducer: -1, A: -1, B: -1,
+			Detail: fmt.Sprintf("engine reports %d partitions, schema has %d reducers", len(c.ReducerLoads), len(a.expectedLoads)),
+		})
+	} else {
+		for r, want := range a.expectedLoads {
+			if got := c.ReducerLoads[r]; got != want {
+				violations = append(violations, Violation{
+					Err: ErrLoadMismatch, Reducer: r, A: -1, B: -1,
+					Detail: fmt.Sprintf("reducer %d received %d bytes, routing prescribes %d", r, got, want),
+				})
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return &AuditError{Violations: violations}
+	}
+	return nil
+}
+
+// Check runs the full post-run audit: trace conformance plus load
+// conformance, with every violation aggregated into one *AuditError.
+func (a *Auditor) Check(tr *Trace, c *mr.Counters) error {
+	var violations []Violation
+	collect := func(err error) {
+		var ae *AuditError
+		if errors.As(err, &ae) {
+			violations = append(violations, ae.Violations...)
+		}
+	}
+	collect(a.CheckTrace(tr))
+	collect(a.CheckLoads(c))
+	if len(violations) > 0 {
+		return &AuditError{Violations: violations}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package exec
+
+// Metamorphic tests of the conformance harness: start from a schema known to
+// be valid, apply one deliberate corruption per violation class, and assert
+// the auditor flags exactly that class. The harness is the test oracle the
+// rest of the repo leans on, so it is itself tested by perturbation.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+)
+
+// validSchema builds a hand-rolled valid A2A schema over 4 inputs of size 2
+// with q=6: reducers {0,1,2} and {0,3},{1,3},{2,3} cover all 6 pairs.
+func validSchema(t *testing.T) (*core.MappingSchema, *core.InputSet) {
+	t.Helper()
+	set := core.MustNewInputSet([]core.Size{2, 2, 2, 2})
+	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: 6}
+	ms.AddReducerA2A(set, []int{0, 1, 2})
+	ms.AddReducerA2A(set, []int{0, 3})
+	ms.AddReducerA2A(set, []int{1, 3})
+	ms.AddReducerA2A(set, []int{2, 3})
+	if err := ms.ValidateA2A(set); err != nil {
+		t.Fatalf("baseline schema invalid: %v", err)
+	}
+	return ms, set
+}
+
+func TestAuditPassesOnValidSchema(t *testing.T) {
+	ms, set := validSchema(t)
+	res, err := Run(Request{Name: "valid", Schema: ms, Inputs: makeInputs(set.Sizes()), Pair: pairIDs})
+	if err != nil {
+		t.Fatalf("valid schema failed: %v", err)
+	}
+	if !res.Audited || res.PairsProcessed != 6 {
+		t.Errorf("audited=%v pairs=%d, want true/6", res.Audited, res.PairsProcessed)
+	}
+}
+
+func TestAuditFlagsDroppedCoverage(t *testing.T) {
+	ms, set := validSchema(t)
+	// Remove input 3 from reducer {2,3}: pair (2,3) loses its only coverage.
+	ms.Reducers[3] = core.Reducer{Inputs: []int{2}, Load: 2}
+	_, err := Run(Request{Name: "dropped", Schema: ms, Inputs: makeInputs(set.Sizes()), Pair: pairIDs})
+	if !errors.Is(err, ErrUncoveredPair) {
+		t.Fatalf("err = %v, want ErrUncoveredPair", err)
+	}
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err is not an *AuditError: %v", err)
+	}
+	found := false
+	for _, v := range ae.Violations {
+		if errors.Is(v.Err, ErrUncoveredPair) && v.A == 2 && v.B == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations do not name pair (2,3): %v", ae.Violations)
+	}
+}
+
+func TestAuditFlagsInflatedReducer(t *testing.T) {
+	ms, set := validSchema(t)
+	// Pile every input onto reducer 0: its load (8) exceeds q (6).
+	ms.Reducers[0] = core.Reducer{Inputs: []int{0, 1, 2, 3}, Load: 8}
+	_, err := Run(Request{Name: "inflated", Schema: ms, Inputs: makeInputs(set.Sizes()), Pair: pairIDs})
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("err = %v, want ErrOverCapacity", err)
+	}
+}
+
+func TestAuditFlagsDuplicateOwner(t *testing.T) {
+	// Owner election makes a real run process each pair once even when the
+	// schema covers it twice, so a duplicated owner can only be observed via
+	// a fabricated trace: the auditor must flag a pair processed twice.
+	ms, _ := validSchema(t)
+	aud, err := NewAuditor(ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace()
+	var pairs [][2]int
+	aud.requiredPairs(func(i, j int) { pairs = append(pairs, [2]int{i, j}) })
+	for _, p := range pairs {
+		tr.Record(aud.Owner(p[0], p[1]), p[0], p[1])
+	}
+	// Duplicate: a second, non-owning reducer also claims pair (0,1).
+	tr.Record(3, 0, 1)
+	err = aud.CheckTrace(tr)
+	if !errors.Is(err, ErrDuplicatePair) {
+		t.Fatalf("err = %v, want ErrDuplicatePair", err)
+	}
+}
+
+func TestAuditFlagsWrongOwner(t *testing.T) {
+	ms, _ := validSchema(t)
+	aud, err := NewAuditor(ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace()
+	aud.requiredPairs(func(i, j int) {
+		owner := aud.Owner(i, j)
+		if i == 0 && j == 1 {
+			owner = 1 // (0,1) is owned by reducer 0; claim it elsewhere
+		}
+		tr.Record(owner, i, j)
+	})
+	if err := aud.CheckTrace(tr); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("err = %v, want ErrWrongOwner", err)
+	}
+}
+
+func TestAuditFlagsLoadMismatch(t *testing.T) {
+	ms, set := validSchema(t)
+	aud, err := NewAuditor(ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile the real expected loads, then perturb the measured counters.
+	c, err := compile(Request{Name: "loads", Schema: ms, Inputs: makeInputs(set.Sizes()), Pair: pairIDs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud.expectedLoads = c.expectedLoads
+	counters := &mr.Counters{ReducerLoads: append([]int64(nil), c.expectedLoads...)}
+	if err := aud.CheckLoads(counters); err != nil {
+		t.Fatalf("exact loads flagged: %v", err)
+	}
+	counters.ReducerLoads[2]++
+	if err := aud.CheckLoads(counters); !errors.Is(err, ErrLoadMismatch) {
+		t.Fatalf("err = %v, want ErrLoadMismatch", err)
+	}
+	// A partition-count mismatch is a load mismatch too.
+	if err := aud.CheckLoads(&mr.Counters{ReducerLoads: c.expectedLoads[:2]}); !errors.Is(err, ErrLoadMismatch) {
+		t.Fatalf("short loads err = %v, want ErrLoadMismatch", err)
+	}
+}
+
+func TestAuditAggregatesMultipleViolationClasses(t *testing.T) {
+	ms, _ := validSchema(t)
+	// Inflate reducer 0 past q AND drop pair (2,3): PreCheck must report both.
+	ms.Reducers[0] = core.Reducer{Inputs: []int{0, 1, 2}, Load: 7}
+	ms.Reducers[3] = core.Reducer{Inputs: []int{2}, Load: 2}
+	aud, err := NewAuditor(ms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = aud.PreCheck()
+	if !errors.Is(err, ErrOverCapacity) || !errors.Is(err, ErrUncoveredPair) {
+		t.Fatalf("err = %v, want both ErrOverCapacity and ErrUncoveredPair", err)
+	}
+	var ae *AuditError
+	if !errors.As(err, &ae) || len(ae.Violations) < 2 {
+		t.Fatalf("expected >= 2 aggregated violations, got %v", err)
+	}
+}
+
+func TestAuditX2YFlagsDroppedCoverage(t *testing.T) {
+	xs := core.MustNewInputSet([]core.Size{2, 2})
+	ys := core.MustNewInputSet([]core.Size{1, 1})
+	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: 6}
+	ms.AddReducerX2Y(xs, ys, []int{0, 1}, []int{0})
+	ms.AddReducerX2Y(xs, ys, []int{0, 1}, []int{1})
+	res, err := Run(Request{
+		Name: "x2y-valid", Schema: ms,
+		XInputs: makeInputs(xs.Sizes()), YInputs: makeInputs(ys.Sizes()),
+		Pair: pairIDs,
+	})
+	if err != nil || res.PairsProcessed != 4 {
+		t.Fatalf("valid x2y run = %d pairs, err %v", res.PairsProcessed, err)
+	}
+	// Drop X input 1 from the second reducer: cross pair (1,1) is uncovered.
+	ms.Reducers[1] = core.Reducer{XInputs: []int{0}, YInputs: []int{1}, Load: 3}
+	_, err = Run(Request{
+		Name: "x2y-dropped", Schema: ms,
+		XInputs: makeInputs(xs.Sizes()), YInputs: makeInputs(ys.Sizes()),
+		Pair: pairIDs,
+	})
+	if !errors.Is(err, ErrUncoveredPair) {
+		t.Fatalf("err = %v, want ErrUncoveredPair", err)
+	}
+}
+
+func TestAuditorRejectsOutOfRangeSchema(t *testing.T) {
+	ms, set := validSchema(t)
+	if _, err := NewAuditor(ms, 3); !errors.Is(err, ErrBadInputs) {
+		t.Errorf("schema over 4 inputs accepted for 3: %v", err)
+	}
+	if _, err := NewAuditorX2Y(ms, 4, 4); err == nil {
+		t.Error("A2A schema accepted by NewAuditorX2Y")
+	}
+	_ = set
+}

@@ -1,0 +1,44 @@
+package exec_test
+
+import (
+	"fmt"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// ExampleRun plans an A2A schema for four differently-sized inputs and
+// executes it: the pair function runs exactly once per required pair, at the
+// pair's owning reducer, and the conformance audit cross-checks the run
+// against the schema.
+func ExampleRun() {
+	inputs := [][]byte{
+		[]byte("aaa"), []byte("bbb"), []byte("cc"), []byte("d"),
+	}
+	sizes := make([]core.Size, len(inputs))
+	for i, d := range inputs {
+		sizes[i] = core.Size(len(d))
+	}
+	set := core.MustNewInputSet(sizes)
+	schema, err := a2a.Solve(set, 8)
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := exec.Run(exec.Request{
+		Name:   "example",
+		Schema: schema,
+		Inputs: inputs,
+		Pair: func(a, b exec.Record, emit func([]byte)) error {
+			emit([]byte(fmt.Sprintf("(%d,%d)", a.ID, b.ID)))
+			return nil
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("pairs=%d audited=%v\n", res.PairsProcessed, res.Audited)
+	// Output:
+	// pairs=6 audited=true
+}

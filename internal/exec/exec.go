@@ -1,0 +1,384 @@
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/planner"
+)
+
+// Record is one input as the PairFunc sees it: its ID within its input set
+// (the A2A set, or the X or Y side) and its raw bytes.
+type Record struct {
+	ID   int
+	Data []byte
+}
+
+// PairFunc is the user logic of a schema-driven job. It is invoked exactly
+// once per required pair, at the pair's owning reducer. For A2A jobs a and b
+// are two inputs of the set with a.ID < b.ID; for X2Y jobs a is the X-side
+// input and b the Y-side input. Emitted records become the job output.
+type PairFunc func(a, b Record, emit func([]byte)) error
+
+// Request describes one schema-driven execution.
+type Request struct {
+	// Name labels the job in errors and results.
+	Name string
+	// Schema is the mapping schema to execute. When nil, Plan's schema is
+	// used, so a planner result can be handed straight to the executor.
+	Schema *core.MappingSchema
+	// Plan optionally carries the planner result the schema came from.
+	Plan *planner.Result
+	// Inputs holds the A2A input data, indexed by input ID.
+	Inputs [][]byte
+	// XInputs and YInputs hold the X2Y input data per side, indexed by ID.
+	XInputs, YInputs [][]byte
+	// Pair is the per-pair user logic; it is required.
+	Pair PairFunc
+	// Workers bounds reduce-phase parallelism; 0 means one worker per
+	// reducer.
+	Workers int
+	// MaxAttempts is passed through to the engine's task retry budget.
+	MaxAttempts int
+	// Engine runs the job; nil means a fresh mr.Engine.
+	Engine *mr.Engine
+	// NoAudit skips the conformance harness. The audit costs one trace entry
+	// per required pair, so very large instances whose schemas are already
+	// trusted can opt out.
+	NoAudit bool
+}
+
+// Result is the outcome of one schema-driven execution.
+type Result struct {
+	// Output holds all records the PairFunc emitted, in deterministic
+	// partition order.
+	Output [][]byte
+	// Counters are the engine's measurements.
+	Counters mr.Counters
+	// Schema is the schema that drove the run.
+	Schema *core.MappingSchema
+	// PairsProcessed is how many required pairs the reducers processed.
+	PairsProcessed int64
+	// Audited reports whether the conformance harness checked the run.
+	Audited bool
+}
+
+// Request validation errors.
+var (
+	ErrNoSchema   = errors.New("exec: request has no schema")
+	ErrNoPairFunc = errors.New("exec: request has no pair function")
+	ErrBadInputs  = errors.New("exec: request inputs do not match the schema's problem")
+)
+
+// schema resolves the request's schema.
+func (r *Request) schema() *core.MappingSchema {
+	if r.Schema != nil {
+		return r.Schema
+	}
+	if r.Plan != nil {
+		return r.Plan.Schema
+	}
+	return nil
+}
+
+// Run compiles the request's schema into an mr.Job, executes it, and — unless
+// NoAudit is set — audits the run against the schema. See the package
+// documentation for the compilation contract.
+func Run(req Request) (*Result, error) {
+	c, err := compile(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.auditor.PreCheck(); err != nil {
+		return nil, fmt.Errorf("exec: schema for job %q fails conformance: %w", req.Name, err)
+	}
+	res := &Result{Schema: c.schema}
+	if c.schema.NumReducers() == 0 {
+		// No reducers and PreCheck passed: there is no required pair.
+		return res, nil
+	}
+	eng := req.Engine
+	if eng == nil {
+		eng = mr.NewEngine()
+	}
+	runRes, err := eng.Run(c.job(), c.records)
+	if err != nil {
+		return nil, fmt.Errorf("exec: running job %q: %w", req.Name, err)
+	}
+	res.Output = runRes.FlatOutput()
+	res.Counters = runRes.Counters
+	res.PairsProcessed = c.trace.Pairs()
+	if !req.NoAudit {
+		if err := c.auditor.Check(c.trace, &runRes.Counters); err != nil {
+			return res, fmt.Errorf("exec: job %q failed the conformance audit: %w", req.Name, err)
+		}
+		res.Audited = true
+	}
+	return res, nil
+}
+
+// compilation holds everything Run derives from a request before executing.
+type compilation struct {
+	req     Request
+	schema  *core.MappingSchema
+	records [][]byte
+	auditor *Auditor
+	trace   *Trace
+	// expectedLoads is the byte image of the schema's routing per reducer.
+	expectedLoads []int64
+}
+
+// compile validates the request and derives records, assignments, the
+// auditor, and the engine job.
+func compile(req Request) (*compilation, error) {
+	schema := req.schema()
+	if schema == nil {
+		return nil, fmt.Errorf("%w (job %q)", ErrNoSchema, req.Name)
+	}
+	if req.Pair == nil {
+		return nil, fmt.Errorf("%w (job %q)", ErrNoPairFunc, req.Name)
+	}
+	c := &compilation{req: req, schema: schema, trace: NewTrace()}
+	var err error
+	switch schema.Problem {
+	case core.ProblemA2A:
+		if len(req.Inputs) == 0 || req.XInputs != nil || req.YInputs != nil {
+			return nil, fmt.Errorf("%w: A2A jobs take Inputs only (job %q)", ErrBadInputs, req.Name)
+		}
+		c.auditor, err = NewAuditor(schema, len(req.Inputs))
+	case core.ProblemX2Y:
+		if len(req.XInputs) == 0 || len(req.YInputs) == 0 || req.Inputs != nil {
+			return nil, fmt.Errorf("%w: X2Y jobs take XInputs and YInputs (job %q)", ErrBadInputs, req.Name)
+		}
+		c.auditor, err = NewAuditorX2Y(schema, len(req.XInputs), len(req.YInputs))
+	default:
+		return nil, fmt.Errorf("exec: unknown problem %v (job %q)", schema.Problem, req.Name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c.buildRecords()
+	c.computeExpectedLoads()
+	c.auditor.expectedLoads = c.expectedLoads
+	return c, nil
+}
+
+// Record framing: one byte of side tag, the input ID, then the raw data:
+//
+//	"a|<id>|<data>"   (A2A)
+//	"x|<id>|<data>"   (X2Y, X side)    "y|<id>|<data>"   (X2Y, Y side)
+//
+// The data may contain any bytes; only the first two separators are parsed.
+
+const (
+	sideA byte = 'a'
+	sideX byte = 'x'
+	sideY byte = 'y'
+)
+
+func frameRecord(side byte, id int, data []byte) []byte {
+	idStr := strconv.Itoa(id)
+	out := make([]byte, 0, 3+len(idStr)+len(data))
+	out = append(out, side, '|')
+	out = append(out, idStr...)
+	out = append(out, '|')
+	return append(out, data...)
+}
+
+func parseRecord(rec []byte) (side byte, id int, data []byte, err error) {
+	if len(rec) < 2 || rec[1] != '|' {
+		return 0, 0, nil, fmt.Errorf("exec: malformed record %q", rec)
+	}
+	cut := bytes.IndexByte(rec[2:], '|')
+	if cut < 0 {
+		return 0, 0, nil, fmt.Errorf("exec: malformed record %q", rec)
+	}
+	id, err = strconv.Atoi(string(rec[2 : 2+cut]))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("exec: malformed record ID in %q: %w", rec[:2+cut], err)
+	}
+	return rec[0], id, rec[2+cut+1:], nil
+}
+
+// buildRecords frames all request inputs into engine records.
+func (c *compilation) buildRecords() {
+	if c.schema.Problem == core.ProblemA2A {
+		c.records = make([][]byte, 0, len(c.req.Inputs))
+		for id, data := range c.req.Inputs {
+			c.records = append(c.records, frameRecord(sideA, id, data))
+		}
+		return
+	}
+	c.records = make([][]byte, 0, len(c.req.XInputs)+len(c.req.YInputs))
+	for id, data := range c.req.XInputs {
+		c.records = append(c.records, frameRecord(sideX, id, data))
+	}
+	for id, data := range c.req.YInputs {
+		c.records = append(c.records, frameRecord(sideY, id, data))
+	}
+}
+
+// assignmentsFor returns the reducer list of one framed record.
+func (c *compilation) assignmentsFor(side byte, id int) ([]int, error) {
+	switch side {
+	case sideA:
+		if c.schema.Problem != core.ProblemA2A || id < 0 || id >= len(c.auditor.aAssign) {
+			return nil, fmt.Errorf("exec: record side %q ID %d out of range", side, id)
+		}
+		return c.auditor.aAssign[id], nil
+	case sideX:
+		if c.schema.Problem != core.ProblemX2Y || id < 0 || id >= len(c.auditor.xAssign) {
+			return nil, fmt.Errorf("exec: record side %q ID %d out of range", side, id)
+		}
+		return c.auditor.xAssign[id], nil
+	case sideY:
+		if c.schema.Problem != core.ProblemX2Y || id < 0 || id >= len(c.auditor.yAssign) {
+			return nil, fmt.Errorf("exec: record side %q ID %d out of range", side, id)
+		}
+		return c.auditor.yAssign[id], nil
+	default:
+		return nil, fmt.Errorf("exec: unknown record side %q", side)
+	}
+}
+
+// computeExpectedLoads derives, per reducer, the exact engine byte load the
+// compiled assignments will produce: reducer key plus framed record, for every
+// assigned copy.
+func (c *compilation) computeExpectedLoads() {
+	n := c.schema.NumReducers()
+	loads := make([]int64, n)
+	add := func(assign [][]int, side byte, inputs [][]byte) {
+		for id, rs := range assign {
+			sz := int64(len(frameRecord(side, id, inputs[id])))
+			for _, r := range rs {
+				if r >= 0 && r < n {
+					loads[r] += int64(len(mr.ReducerKey(r))) + sz
+				}
+			}
+		}
+	}
+	if c.schema.Problem == core.ProblemA2A {
+		add(c.auditor.aAssign, sideA, c.req.Inputs)
+	} else {
+		add(c.auditor.xAssign, sideX, c.req.XInputs)
+		add(c.auditor.yAssign, sideY, c.req.YInputs)
+	}
+	c.expectedLoads = loads
+}
+
+// job assembles the engine job: schema partitioning, replication-aware
+// mapping, owner-elected pair reduction, and the engine-level capacity bound
+// derived from the compiled routing.
+func (c *compilation) job() *mr.Job {
+	var capacity int64
+	for _, l := range c.expectedLoads {
+		if l > capacity {
+			capacity = l
+		}
+	}
+	return &mr.Job{
+		Name:              c.req.Name,
+		Mapper:            c.mapper(),
+		Reducer:           c.reducer(),
+		NumReducers:       c.schema.NumReducers(),
+		Partitioner:       mr.SchemaPartitioner,
+		ReduceParallelism: c.req.Workers,
+		ReducerCapacity:   capacity,
+		MaxAttempts:       c.req.MaxAttempts,
+	}
+}
+
+// mapper replicates every record to the reducers its schema assignment names.
+func (c *compilation) mapper() mr.Mapper {
+	return mr.MapperFunc(func(record []byte, emit func(mr.Pair)) error {
+		side, id, _, err := parseRecord(record)
+		if err != nil {
+			return err
+		}
+		rs, err := c.assignmentsFor(side, id)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			emit(mr.Pair{Key: mr.ReducerKey(r), Value: record})
+		}
+		return nil
+	})
+}
+
+// reducer reconstructs the records of one partition, elects this reducer's
+// owned pairs, logs them into the trace, and applies the user PairFunc.
+func (c *compilation) reducer() mr.Reducer {
+	return mr.ReducerFunc(func(key string, values [][]byte, emit func([]byte)) error {
+		self, err := mr.ParseReducerKey(key)
+		if err != nil {
+			return fmt.Errorf("exec: unexpected reducer key %q: %w", key, err)
+		}
+		var aRecs, bRecs []Record // A2A uses aRecs only; X2Y splits by side
+		for _, v := range values {
+			side, id, data, err := parseRecord(v)
+			if err != nil {
+				return err
+			}
+			switch side {
+			case sideA, sideX:
+				aRecs = append(aRecs, Record{ID: id, Data: data})
+			case sideY:
+				bRecs = append(bRecs, Record{ID: id, Data: data})
+			default:
+				return fmt.Errorf("exec: unknown record side %q", side)
+			}
+		}
+		aRecs = sortAndDedupeRecords(aRecs)
+		bRecs = sortAndDedupeRecords(bRecs)
+		if c.schema.Problem == core.ProblemA2A {
+			for i := 0; i < len(aRecs); i++ {
+				for j := i + 1; j < len(aRecs); j++ {
+					a, b := aRecs[i], aRecs[j]
+					if a.ID == b.ID || c.auditor.Owner(a.ID, b.ID) != self {
+						continue
+					}
+					c.trace.Record(self, a.ID, b.ID)
+					if err := c.req.Pair(a, b, emit); err != nil {
+						return fmt.Errorf("exec: pair (%d,%d): %w", a.ID, b.ID, err)
+					}
+				}
+			}
+			return nil
+		}
+		for _, x := range aRecs {
+			for _, y := range bRecs {
+				if c.auditor.Owner(x.ID, y.ID) != self {
+					continue
+				}
+				c.trace.Record(self, x.ID, y.ID)
+				if err := c.req.Pair(x, y, emit); err != nil {
+					return fmt.Errorf("exec: pair (x=%d,y=%d): %w", x.ID, y.ID, err)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// sortAndDedupeRecords orders records by ID so pair enumeration is
+// deterministic and drops duplicate copies of the same input (a corrupted
+// schema can list an input twice in one reducer; the extra copy must not
+// double-process pairs — duplicate processing is the audit's signal for a
+// pair covered at two owners, not for a doubled assignment).
+func sortAndDedupeRecords(recs []Record) []Record {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	out := recs[:0]
+	for i, r := range recs {
+		if i > 0 && r.ID == recs[i-1].ID {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}

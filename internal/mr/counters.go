@@ -16,6 +16,15 @@ type Counters struct {
 	// before combining.
 	MapOutputRecords int64
 	MapOutputBytes   int64
+	// CombineInputRecords/Bytes and CombineOutputRecords/Bytes describe the
+	// combine phase: what the combiner consumed (the raw map output) and what
+	// it emitted into the shuffle. All four stay zero when the job has no
+	// combiner, so shuffle accounting can attribute the gap between map output
+	// and shuffle volume to combining: the savings are input minus output.
+	CombineInputRecords  int64
+	CombineInputBytes    int64
+	CombineOutputRecords int64
+	CombineOutputBytes   int64
 	// ShuffleRecords and ShuffleBytes describe what actually crossed the
 	// map-to-reduce boundary (after the optional combiner). ShuffleBytes is
 	// the communication cost.
@@ -31,9 +40,51 @@ type Counters struct {
 	ReducerLoads []int64
 	// MaxReducerLoad is the largest entry of ReducerLoads.
 	MaxReducerLoad int64
-	// MapWall and ReduceWall are the wall-clock durations of the two phases.
-	MapWall    time.Duration
-	ReduceWall time.Duration
+	// MapWall, CombineWall, and ReduceWall are the wall-clock durations of
+	// the phases; CombineWall stays zero when the job has no combiner.
+	MapWall     time.Duration
+	CombineWall time.Duration
+	ReduceWall  time.Duration
+}
+
+// CombineSavedRecords returns how many intermediate records the combiner
+// removed before the shuffle; 0 when the job had no combiner.
+func (c *Counters) CombineSavedRecords() int64 {
+	return c.CombineInputRecords - c.CombineOutputRecords
+}
+
+// CombineSavedBytes returns how many shuffle bytes the combiner saved; 0 when
+// the job had no combiner.
+func (c *Counters) CombineSavedBytes() int64 {
+	return c.CombineInputBytes - c.CombineOutputBytes
+}
+
+// Merge folds the counters of another, independently executed job into c.
+// Record and byte figures add up, wall clocks add up (the merged walls are
+// aggregate work time, not elapsed time when the jobs ran concurrently), and
+// ReducerLoads are concatenated so per-partition loads stay inspectable. The
+// applications use it to report one counter set for a composite run (e.g. a
+// light-key job plus one executor job per heavy key).
+func (c *Counters) Merge(o *Counters) {
+	c.MapInputRecords += o.MapInputRecords
+	c.MapOutputRecords += o.MapOutputRecords
+	c.MapOutputBytes += o.MapOutputBytes
+	c.CombineInputRecords += o.CombineInputRecords
+	c.CombineInputBytes += o.CombineInputBytes
+	c.CombineOutputRecords += o.CombineOutputRecords
+	c.CombineOutputBytes += o.CombineOutputBytes
+	c.ShuffleRecords += o.ShuffleRecords
+	c.ShuffleBytes += o.ShuffleBytes
+	c.ReduceInputKeys += o.ReduceInputKeys
+	c.ReduceOutputRecords += o.ReduceOutputRecords
+	c.ReduceOutputBytes += o.ReduceOutputBytes
+	c.ReducerLoads = append(c.ReducerLoads, o.ReducerLoads...)
+	if o.MaxReducerLoad > c.MaxReducerLoad {
+		c.MaxReducerLoad = o.MaxReducerLoad
+	}
+	c.MapWall += o.MapWall
+	c.CombineWall += o.CombineWall
+	c.ReduceWall += o.ReduceWall
 }
 
 // CommunicationCost returns the shuffle volume in bytes — the quantity the

@@ -33,15 +33,26 @@ func (e *Engine) Run(job *Job, inputs [][]byte) (*Result, error) {
 	res.Counters.MapOutputBytes = mapCounters.bytes
 	res.Counters.MapWall = time.Since(mapStart)
 
-	// Optional combine phase, per partition.
+	// Optional combine phase, per partition. Pre/post record and byte counts
+	// let the counters attribute the map-output-to-shuffle gap to combining;
+	// the combiner consumes the whole map output, so the pre-combine figures
+	// are the map-output counters.
 	if job.Combiner != nil {
+		combineStart := time.Now()
+		res.Counters.CombineInputRecords = mapCounters.records
+		res.Counters.CombineInputBytes = mapCounters.bytes
 		for p := range partitions {
 			combined, err := combinePartition(job, partitions[p])
 			if err != nil {
 				return nil, err
 			}
 			partitions[p] = combined
+			for _, pr := range combined {
+				res.Counters.CombineOutputRecords++
+				res.Counters.CombineOutputBytes += int64(pr.Size())
+			}
 		}
+		res.Counters.CombineWall = time.Since(combineStart)
 	}
 
 	// Shuffle accounting + capacity check.

@@ -224,6 +224,73 @@ func TestCombinerReducesShuffleVolume(t *testing.T) {
 	if resComb.Counters.ShuffleRecords != 1 {
 		t.Errorf("ShuffleRecords = %d, want 1", resComb.Counters.ShuffleRecords)
 	}
+
+	// Combine-phase accounting: the combiner consumed the raw map output and
+	// emitted exactly what was shuffled, so the savings are the difference.
+	cc := resComb.Counters
+	if cc.CombineInputRecords != cc.MapOutputRecords {
+		t.Errorf("CombineInputRecords = %d, want MapOutputRecords %d", cc.CombineInputRecords, cc.MapOutputRecords)
+	}
+	if cc.CombineOutputRecords != cc.ShuffleRecords {
+		t.Errorf("CombineOutputRecords = %d, want ShuffleRecords %d", cc.CombineOutputRecords, cc.ShuffleRecords)
+	}
+	if cc.CombineInputBytes != cc.MapOutputBytes || cc.CombineOutputBytes != cc.ShuffleBytes {
+		t.Errorf("combine bytes = %d->%d, want %d->%d",
+			cc.CombineInputBytes, cc.CombineOutputBytes, cc.MapOutputBytes, cc.ShuffleBytes)
+	}
+	if got := cc.CombineSavedRecords(); got != 9 {
+		t.Errorf("CombineSavedRecords() = %d, want 9 (10 emissions folded to 1)", got)
+	}
+	if cc.CombineSavedBytes() != cc.MapOutputBytes-cc.ShuffleBytes {
+		t.Errorf("CombineSavedBytes() = %d, want %d", cc.CombineSavedBytes(), cc.MapOutputBytes-cc.ShuffleBytes)
+	}
+	if cc.CombineWall < 0 {
+		t.Errorf("CombineWall = %v, want >= 0", cc.CombineWall)
+	}
+	// A combiner-less job records no combine activity.
+	pc := resPlain.Counters
+	if pc.CombineInputRecords != 0 || pc.CombineOutputRecords != 0 || pc.CombineWall != 0 {
+		t.Errorf("plain job recorded combine activity: %+v", pc)
+	}
+	if pc.CombineSavedRecords() != 0 || pc.CombineSavedBytes() != 0 {
+		t.Errorf("plain job reports combine savings: %d/%d", pc.CombineSavedRecords(), pc.CombineSavedBytes())
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := Counters{
+		MapInputRecords: 2, MapOutputRecords: 4, MapOutputBytes: 40,
+		CombineInputRecords: 4, CombineInputBytes: 40, CombineOutputRecords: 2, CombineOutputBytes: 20,
+		ShuffleRecords: 2, ShuffleBytes: 20,
+		ReduceInputKeys: 2, ReduceOutputRecords: 2, ReduceOutputBytes: 10,
+		ReducerLoads: []int64{12, 8}, MaxReducerLoad: 12,
+	}
+	b := Counters{
+		MapInputRecords: 1, MapOutputRecords: 3, MapOutputBytes: 30,
+		ShuffleRecords: 3, ShuffleBytes: 30,
+		ReduceInputKeys: 1, ReduceOutputRecords: 1, ReduceOutputBytes: 5,
+		ReducerLoads: []int64{30}, MaxReducerLoad: 30,
+	}
+	a.Merge(&b)
+	if a.MapInputRecords != 3 || a.ShuffleRecords != 5 || a.ShuffleBytes != 50 {
+		t.Errorf("merged sums wrong: %+v", a)
+	}
+	if len(a.ReducerLoads) != 3 || a.ReducerLoads[2] != 30 {
+		t.Errorf("merged loads = %v", a.ReducerLoads)
+	}
+	if a.MaxReducerLoad != 30 {
+		t.Errorf("merged MaxReducerLoad = %d, want 30", a.MaxReducerLoad)
+	}
+	if a.CombineSavedRecords() != 2 {
+		t.Errorf("merged CombineSavedRecords = %d, want 2", a.CombineSavedRecords())
+	}
+	var sum int64
+	for _, l := range a.ReducerLoads {
+		sum += l
+	}
+	if sum != a.ShuffleBytes {
+		t.Errorf("merged loads sum %d != shuffle bytes %d", sum, a.ShuffleBytes)
+	}
 }
 
 func TestCombinerErrorPropagates(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/a2a"
 	"repro/internal/binpack"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/mr"
 	"repro/internal/planner"
 	"repro/internal/workload"
@@ -45,10 +46,13 @@ type Result struct {
 	// figure counts document bytes, excluding key overhead).
 	SchemaCost core.Cost
 	// Counters are the engine's measurements (shuffle bytes include the
-	// reducer-key overhead).
+	// reducer-key and record-framing overhead).
 	Counters mr.Counters
 	// Bounds are the instance's lower bounds, for reporting.
 	Bounds a2a.Bounds
+	// Audited reports whether the executor's conformance harness verified the
+	// run (every document pair compared exactly once, loads as planned).
+	Audited bool
 }
 
 // ErrNoDocuments is returned when Run is called with an empty corpus.
@@ -94,27 +98,27 @@ func Run(docs []workload.Document, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	assignments := mr.AssignmentsA2A(schema, len(docs))
+	// The executor compiles the schema into the MapReduce job: it replicates
+	// every document to its assigned reducers and invokes the comparison
+	// exactly once per document pair, at the pair's owning reducer.
 	records := make([][]byte, len(docs))
 	for i, d := range docs {
 		records[i] = encodeDocument(d)
 	}
-
-	job := &mr.Job{
-		Name:              "similarity-join",
-		Mapper:            replicatingMapper(assignments),
-		Reducer:           comparingReducer(cfg, assignments),
-		NumReducers:       schema.NumReducers(),
-		Partitioner:       mr.SchemaPartitioner,
-		ReduceParallelism: cfg.Workers,
-	}
-	runRes, err := mr.NewEngine().Run(job, records)
+	execRes, err := exec.Run(exec.Request{
+		Name:    "similarity-join",
+		Schema:  schema,
+		Inputs:  records,
+		Pair:    comparePair(cfg),
+		Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("simjoin: running the job: %w", err)
 	}
-	res.Counters = runRes.Counters
+	res.Counters = execRes.Counters
+	res.Audited = execRes.Audited
 
-	for _, rec := range runRes.FlatOutput() {
+	for _, rec := range execRes.Output {
 		p, err := decodePair(rec)
 		if err != nil {
 			return nil, err
@@ -147,69 +151,34 @@ func buildSchema(set *core.InputSet, cfg Config) (*core.MappingSchema, error) {
 	return res.Schema, nil
 }
 
-// replicatingMapper emits one copy of the document per reducer the mapping
-// schema assigned it to.
-func replicatingMapper(assignments [][]int) mr.Mapper {
-	return mr.MapperFunc(func(record []byte, emit func(mr.Pair)) error {
-		id, _, err := decodeDocumentHeader(record)
+// comparePair scores one document pair and emits it when it reaches the
+// threshold. Replication, routing, and once-per-pair owner election are the
+// executor's job; this is pure application logic.
+func comparePair(cfg Config) exec.PairFunc {
+	return func(a, b exec.Record, emit func([]byte)) error {
+		da, err := decodeDocument(a.Data)
 		if err != nil {
 			return err
 		}
-		if id < 0 || id >= len(assignments) {
-			return fmt.Errorf("simjoin: document ID %d out of range", id)
-		}
-		for _, r := range assignments[id] {
-			emit(mr.Pair{Key: mr.ReducerKey(r), Value: record})
-		}
-		return nil
-	})
-}
-
-// comparingReducer compares every pair of documents it receives and emits the
-// pairs whose similarity reaches the threshold. To avoid emitting the same
-// pair from several reducers (the schema may assign a pair to more than one
-// reducer in common), only the lowest-indexed reducer that holds both
-// documents reports the pair.
-func comparingReducer(cfg Config, assignments [][]int) mr.Reducer {
-	return mr.ReducerFunc(func(key string, values [][]byte, emit func([]byte)) error {
-		reducerIdx, err := mr.ParseReducerKey(key)
+		db, err := decodeDocument(b.Data)
 		if err != nil {
-			return fmt.Errorf("simjoin: unexpected reducer key %q: %w", key, err)
+			return err
 		}
-		docs := make([]workload.Document, 0, len(values))
-		for _, v := range values {
-			d, err := decodeDocument(v)
-			if err != nil {
-				return err
-			}
-			docs = append(docs, d)
+		if da.ID == db.ID {
+			// Two corpus positions carrying the same document ID are not a
+			// pair to report.
+			return nil
 		}
-		for i := 0; i < len(docs); i++ {
-			for j := i + 1; j < len(docs); j++ {
-				a, b := docs[i], docs[j]
-				if a.ID == b.ID {
-					continue
-				}
-				if owner(assignments, a.ID, b.ID) != reducerIdx {
-					continue
-				}
-				score := cfg.Similarity.Score(a.Terms, b.Terms)
-				if score >= cfg.Threshold {
-					lo, hi := a.ID, b.ID
-					if lo > hi {
-						lo, hi = hi, lo
-					}
-					emit(encodePair(Pair{I: lo, J: hi, Score: score}))
-				}
+		score := cfg.Similarity.Score(da.Terms, db.Terms)
+		if score >= cfg.Threshold {
+			lo, hi := da.ID, db.ID
+			if lo > hi {
+				lo, hi = hi, lo
 			}
+			emit(encodePair(Pair{I: lo, J: hi, Score: score}))
 		}
 		return nil
-	})
-}
-
-// owner returns the smallest reducer index that holds both documents.
-func owner(assignments [][]int, a, b int) int {
-	return mr.LowestCommonReducer(assignments[a], assignments[b])
+	}
 }
 
 // NestedLoopReference computes the similar pairs with a plain in-memory

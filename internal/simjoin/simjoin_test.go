@@ -238,12 +238,16 @@ func TestPairEncodingRoundTrip(t *testing.T) {
 	}
 }
 
-func TestOwnerIsFirstCommonReducer(t *testing.T) {
-	assign := [][]int{{0, 2, 5}, {1, 2, 5}, {3}}
-	if got := owner(assign, 0, 1); got != 2 {
-		t.Errorf("owner = %d, want 2", got)
+func TestRunIsAudited(t *testing.T) {
+	docs := smallCorpus(t, 20)
+	res, err := Run(docs, Config{Capacity: 400, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := owner(assign, 0, 2); got != -1 {
-		t.Errorf("owner of disjoint assignments = %d, want -1", got)
+	// The executor's conformance harness must have verified the run: every
+	// document pair compared exactly once at its owning reducer, reducer
+	// loads exactly as the schema routed.
+	if !res.Audited {
+		t.Error("run was not audited")
 	}
 }

@@ -41,13 +41,13 @@ func HashJoinBaseline(x, y *workload.Relation, numReducers int, q core.Size, cou
 		if err != nil {
 			return err
 		}
-		emit(mr.Pair{Key: key, Value: encodeShuffleValue(side, -1, key, payload)})
+		emit(mr.Pair{Key: key, Value: encodeLightValue(side, key, payload)})
 		return nil
 	})
 	job := &mr.Job{
 		Name:        "hash-join-baseline",
 		Mapper:      mapper,
-		Reducer:     joinReducer(Config{CountOnly: countOnly}, nil),
+		Reducer:     lightReducer(Config{CountOnly: countOnly}),
 		NumReducers: numReducers,
 	}
 	runRes, err := mr.NewEngine().Run(job, records)

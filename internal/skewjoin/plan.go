@@ -84,21 +84,15 @@ type Plan struct {
 	xBlock []int
 	yBlock []int
 	// heavyXDest and heavyYDest give, per heavy key, the ascending global
-	// reducer lists of every block. The join reducers use them to elect a
-	// single owner per block pair, since a schema may cover a pair more than
-	// once.
+	// reducer lists of every block, for destination reporting. (Owner
+	// election for multiply-covered block pairs happens inside the executor,
+	// which runs each heavy key's X2Y schema as its own job.)
 	heavyXDest map[string][][]int
 	heavyYDest map[string][][]int
-}
-
-// pairOwner returns the lowest-indexed reducer that holds both the bx-th X
-// block and the by-th Y block of the heavy key, or -1 when they share none.
-func (p *Plan) pairOwner(key string, bx, by int) int {
-	xd, yd := p.heavyXDest[key], p.heavyYDest[key]
-	if bx < 0 || by < 0 || bx >= len(xd) || by >= len(yd) {
-		return -1
-	}
-	return mr.LowestCommonReducer(xd[bx], yd[by])
+	// xBlocks and yBlocks hold, per heavy key, the per-block tuple index
+	// lists; Run turns them into the executor jobs' inputs.
+	xBlocks map[string][]block
+	yBlocks map[string][]block
 }
 
 // XDestinations returns the reducer assignments of the X-relation tuple with
@@ -193,6 +187,8 @@ func BuildPlan(x, y *workload.Relation, cfg Config) (*Plan, error) {
 	}
 	plan.heavyXDest = heavyXBlocks
 	plan.heavyYDest = heavyYBlocks
+	plan.xBlocks = xBlocks
+	plan.yBlocks = yBlocks
 
 	// Per-tuple destinations.
 	fillDestinations(plan.xDest, plan.xBlock, x, lightReducerOf, xBlocks, heavyXBlocks)

@@ -1,12 +1,14 @@
 package skewjoin
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/exec"
 	"repro/internal/mr"
 	"repro/internal/workload"
 )
@@ -24,15 +26,22 @@ type Result struct {
 	Joined []JoinedTuple
 	// JoinedCount is the number of output rows (always filled in).
 	JoinedCount int64
-	// Counters are the engine's measurements.
+	// Counters are the engine's measurements, merged across the light-key job
+	// and the per-heavy-key executor jobs.
 	Counters mr.Counters
+	// HeavyAudited reports whether every heavy key's executor job passed the
+	// conformance audit (every block pair joined exactly once at its owning
+	// reducer). It is true when there are no heavy keys.
+	HeavyAudited bool
 }
 
 // ErrEmptyRelation is returned when either input relation has no tuples.
 var ErrEmptyRelation = errors.New("skewjoin: empty input relation")
 
-// Run executes the skew join of x and y on the MapReduce engine under the
-// given configuration.
+// Run executes the skew join of x and y under the given configuration. Light
+// keys run as one bin-packed MapReduce job; every heavy key's X2Y mapping
+// schema is compiled and executed by the schema-driven executor, one job per
+// key, concurrently under a bounded pool.
 func Run(x, y *workload.Relation, cfg Config) (*Result, error) {
 	if x == nil || y == nil || len(x.Tuples) == 0 || len(y.Tuples) == 0 {
 		return nil, ErrEmptyRelation
@@ -41,28 +50,37 @@ func Run(x, y *workload.Relation, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Plan: plan}
+	res := &Result{Plan: plan, HeavyAudited: true}
 	if plan.NumReducers == 0 {
 		// No key appears on both sides: the join is empty.
 		return res, nil
 	}
 
-	records := encodeRelations(x, y)
-	job := &mr.Job{
-		Name:              "skew-join",
-		Mapper:            planMapper(plan),
-		Reducer:           joinReducer(cfg, plan),
-		NumReducers:       plan.NumReducers,
-		Partitioner:       mr.SchemaPartitioner,
-		ReduceParallelism: cfg.Workers,
+	var output [][]byte
+	if plan.LightReducers > 0 {
+		lightOut, counters, err := runLight(plan, x, y, cfg)
+		if err != nil {
+			return nil, err
+		}
+		output = append(output, lightOut...)
+		res.Counters.Merge(counters)
 	}
-	runRes, err := mr.NewEngine().Run(job, records)
-	if err != nil {
-		return nil, fmt.Errorf("skewjoin: running the job: %w", err)
+	if len(plan.HeavyKeys) > 0 {
+		reqs := heavyRequests(plan, x, y, cfg)
+		results, err := exec.RunBatch(context.Background(), reqs, exec.BatchOptions{Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("skewjoin: heavy keys: %w", err)
+		}
+		for _, r := range results {
+			output = append(output, r.Output...)
+			res.Counters.Merge(&r.Counters)
+			if !r.Audited {
+				res.HeavyAudited = false
+			}
+		}
 	}
-	res.Counters = runRes.Counters
 
-	for _, rec := range runRes.FlatOutput() {
+	for _, rec := range output {
 		if cfg.CountOnly {
 			n, err := strconv.ParseInt(string(rec), 10, 64)
 			if err != nil {
@@ -84,15 +102,17 @@ func Run(x, y *workload.Relation, cfg Config) (*Result, error) {
 // Record encoding.
 //
 // Input records carry the relation side and the tuple's index within its
-// relation so the mapper can look up the planned destinations:
+// relation so the light mapper can look up the planned destination:
 //
 //	"X|<tupleIndex>|<key>|<payload>"
 //
-// Shuffle values replace the index with the tuple's heavy-key block ordinal
-// (-1 for light and one-sided tuples), which the reducer needs to elect one
-// owner per block pair:
+// Light shuffle values drop the index (the reducer groups by the embedded
+// key):
 //
-//	"X|<block>|<key>|<payload>"
+//	"X|<key>|<payload>"
+//
+// The executor jobs of heavy keys do not use these encodings: their inputs
+// are whole blocks, framed as length-prefixed payload lists (encodeBlock).
 
 func encodeRelations(x, y *workload.Relation) [][]byte {
 	records := make([][]byte, 0, len(x.Tuples)+len(y.Tuples))
@@ -121,20 +141,16 @@ func decodeInput(rec []byte) (side byte, idx int, key, payload string, err error
 	return parts[0][0], idx, parts[2], parts[3], nil
 }
 
-func encodeShuffleValue(side byte, block int, key, payload string) []byte {
-	return []byte(string(side) + "|" + strconv.Itoa(block) + "|" + key + "|" + payload)
+func encodeLightValue(side byte, key, payload string) []byte {
+	return []byte(string(side) + "|" + key + "|" + payload)
 }
 
-func decodeShuffleValue(v []byte) (side byte, block int, key, payload string, err error) {
-	parts := strings.SplitN(string(v), "|", 4)
-	if len(parts) != 4 || len(parts[0]) != 1 {
-		return 0, 0, "", "", fmt.Errorf("skewjoin: malformed shuffle value %q", v)
+func decodeLightValue(v []byte) (side byte, key, payload string, err error) {
+	parts := strings.SplitN(string(v), "|", 3)
+	if len(parts) != 3 || len(parts[0]) != 1 {
+		return 0, "", "", fmt.Errorf("skewjoin: malformed shuffle value %q", v)
 	}
-	block, err = strconv.Atoi(parts[1])
-	if err != nil {
-		return 0, 0, "", "", fmt.Errorf("skewjoin: malformed block ordinal in %q: %w", v, err)
-	}
-	return parts[0][0], block, parts[2], parts[3], nil
+	return parts[0][0], parts[1], parts[2], nil
 }
 
 func encodeJoined(t JoinedTuple) []byte {
@@ -149,30 +165,83 @@ func decodeJoined(rec []byte) (JoinedTuple, error) {
 	return JoinedTuple{A: parts[0], B: parts[1], C: parts[2]}, nil
 }
 
-// planMapper replicates every tuple to the reducers the plan assigned it to.
-func planMapper(plan *Plan) mr.Mapper {
+// encodeBlock frames a heavy-key block as a length-prefixed payload list, so
+// arbitrary payload bytes survive the round trip.
+func encodeBlock(payloads []string) []byte {
+	var b strings.Builder
+	for _, p := range payloads {
+		b.WriteString(strconv.Itoa(len(p)))
+		b.WriteByte(':')
+		b.WriteString(p)
+	}
+	return []byte(b.String())
+}
+
+func decodeBlock(data []byte) ([]string, error) {
+	var out []string
+	for len(data) > 0 {
+		cut := bytes.IndexByte(data, ':')
+		if cut < 0 {
+			return nil, fmt.Errorf("skewjoin: malformed block frame %q", data)
+		}
+		n, err := strconv.Atoi(string(data[:cut]))
+		if err != nil || n < 0 || cut+1+n > len(data) {
+			return nil, fmt.Errorf("skewjoin: malformed block frame %q", data)
+		}
+		out = append(out, string(data[cut+1:cut+1+n]))
+		data = data[cut+1+n:]
+	}
+	return out, nil
+}
+
+// runLight executes the light keys as one MapReduce job: every both-sided
+// light tuple goes to the single reducer its key was bin-packed into; the
+// reducer joins key by key.
+func runLight(plan *Plan, x, y *workload.Relation, cfg Config) ([][]byte, *mr.Counters, error) {
+	job := &mr.Job{
+		Name:              "skew-join-light",
+		Mapper:            lightMapper(plan),
+		Reducer:           lightReducer(cfg),
+		NumReducers:       plan.LightReducers,
+		Partitioner:       mr.SchemaPartitioner,
+		ReduceParallelism: cfg.Workers,
+	}
+	runRes, err := mr.NewEngine().Run(job, encodeRelations(x, y))
+	if err != nil {
+		return nil, nil, fmt.Errorf("skewjoin: running the light-key job: %w", err)
+	}
+	return runRes.FlatOutput(), &runRes.Counters, nil
+}
+
+// lightMapper ships every light, both-sided tuple to its planned reducer.
+// Heavy tuples are handled by the executor jobs and one-sided tuples produce
+// no join output; neither is shipped.
+func lightMapper(plan *Plan) mr.Mapper {
 	return mr.MapperFunc(func(record []byte, emit func(mr.Pair)) error {
 		side, idx, key, payload, err := decodeInput(record)
 		if err != nil {
 			return err
 		}
 		var dests []int
-		block := -1
+		var blockOrd int
 		switch side {
 		case 'X':
 			if idx < 0 || idx >= len(plan.xDest) {
 				return fmt.Errorf("skewjoin: X tuple index %d out of range", idx)
 			}
-			dests, block = plan.xDest[idx], plan.xBlock[idx]
+			dests, blockOrd = plan.xDest[idx], plan.xBlock[idx]
 		case 'Y':
 			if idx < 0 || idx >= len(plan.yDest) {
 				return fmt.Errorf("skewjoin: Y tuple index %d out of range", idx)
 			}
-			dests, block = plan.yDest[idx], plan.yBlock[idx]
+			dests, blockOrd = plan.yDest[idx], plan.yBlock[idx]
 		default:
 			return fmt.Errorf("skewjoin: unknown relation side %q", string(side))
 		}
-		value := encodeShuffleValue(side, block, key, payload)
+		if blockOrd >= 0 {
+			return nil // heavy tuple: joined by its key's executor job
+		}
+		value := encodeLightValue(side, key, payload)
 		for _, r := range dests {
 			emit(mr.Pair{Key: mr.ReducerKey(r), Value: value})
 		}
@@ -180,28 +249,18 @@ func planMapper(plan *Plan) mr.Mapper {
 	})
 }
 
-// joinReducer joins the X and Y tuples it receives, key by key, block pair
-// by block pair. A mapping schema is free to assign a heavy key's block pair
-// to more than one reducer (the constructive grid never does, but the
-// planner portfolio's greedy and exact members may); when a plan is given,
-// only the lowest-indexed reducer holding both blocks — their owner — emits
-// that pair's output. The hash-join baseline passes a nil plan: every key
-// lands on exactly one reducer there, so no ownership check is needed.
-func joinReducer(cfg Config, plan *Plan) mr.Reducer {
-	return mr.ReducerFunc(func(reducerKey string, values [][]byte, emit func([]byte)) error {
-		// A key is either light (every tuple ships with block -1, at most one
-		// reducer holds it) or heavy (every tuple carries its block ordinal).
-		// Light keys — the bulk of most workloads — stay on the flat-slice
-		// path; only heavy keys pay for per-block grouping and ownership.
-		xLight := map[string][]string{}
-		yLight := map[string][]string{}
-		xHeavy := map[string]map[int][]string{}
-		yHeavy := map[string]map[int][]string{}
-		// Keys must be emitted in a deterministic order.
+// lightReducer joins the X and Y tuples it receives, key by key. Several
+// light keys may share a partition (they were bin-packed together); keys are
+// processed in first-seen order, which is deterministic because the engine
+// merges map output in record order.
+func lightReducer(cfg Config) mr.Reducer {
+	return mr.ReducerFunc(func(_ string, values [][]byte, emit func([]byte)) error {
+		xByKey := map[string][]string{}
+		yByKey := map[string][]string{}
 		var keys []string
 		seen := map[string]bool{}
 		for _, v := range values {
-			side, block, key, payload, err := decodeShuffleValue(v)
+			side, key, payload, err := decodeLightValue(v)
 			if err != nil {
 				return err
 			}
@@ -209,74 +268,82 @@ func joinReducer(cfg Config, plan *Plan) mr.Reducer {
 				seen[key] = true
 				keys = append(keys, key)
 			}
-			var light map[string][]string
-			var heavy map[string]map[int][]string
 			switch side {
 			case 'X':
-				light, heavy = xLight, xHeavy
+				xByKey[key] = append(xByKey[key], payload)
 			case 'Y':
-				light, heavy = yLight, yHeavy
+				yByKey[key] = append(yByKey[key], payload)
 			default:
 				return fmt.Errorf("skewjoin: unknown side %q in shuffle value", string(side))
 			}
-			if block < 0 {
-				light[key] = append(light[key], payload)
-				continue
-			}
-			if heavy[key] == nil {
-				heavy[key] = map[int][]string{}
-			}
-			heavy[key][block] = append(heavy[key][block], payload)
-		}
-		reducerIdx := -1
-		if plan != nil {
-			idx, err := mr.ParseReducerKey(reducerKey)
-			if err != nil {
-				return fmt.Errorf("skewjoin: unexpected reducer key %q: %w", reducerKey, err)
-			}
-			reducerIdx = idx
-		}
-		emitPair := func(key string, xv, yv []string) {
-			if cfg.CountOnly {
-				emit([]byte(strconv.FormatInt(int64(len(xv))*int64(len(yv)), 10)))
-				return
-			}
-			for _, a := range xv {
-				for _, c := range yv {
-					emit(encodeJoined(JoinedTuple{A: a, B: key, C: c}))
-				}
-			}
 		}
 		for _, key := range keys {
-			if xv, yv := xLight[key], yLight[key]; len(xv) > 0 && len(yv) > 0 {
-				emitPair(key, xv, yv)
-				continue
-			}
-			xBlocks, yBlocks := xHeavy[key], yHeavy[key]
-			if len(xBlocks) == 0 || len(yBlocks) == 0 {
-				continue
-			}
-			yOrds := sortedBlockOrdinals(yBlocks)
-			for _, bx := range sortedBlockOrdinals(xBlocks) {
-				for _, by := range yOrds {
-					if plan != nil && plan.pairOwner(key, bx, by) != reducerIdx {
-						continue
-					}
-					emitPair(key, xBlocks[bx], yBlocks[by])
-				}
-			}
+			emitJoin(cfg, key, xByKey[key], yByKey[key], emit)
 		}
 		return nil
 	})
 }
 
-func sortedBlockOrdinals(blocks map[int][]string) []int {
-	out := make([]int, 0, len(blocks))
-	for b := range blocks {
-		out = append(out, b)
+// emitJoin emits the join of one key's X and Y payload lists: the full cross
+// product, or just its cardinality under CountOnly.
+func emitJoin(cfg Config, key string, xv, yv []string, emit func([]byte)) {
+	if len(xv) == 0 || len(yv) == 0 {
+		return
 	}
-	sort.Ints(out)
-	return out
+	if cfg.CountOnly {
+		emit([]byte(strconv.FormatInt(int64(len(xv))*int64(len(yv)), 10)))
+		return
+	}
+	for _, a := range xv {
+		for _, c := range yv {
+			emit(encodeJoined(JoinedTuple{A: a, B: key, C: c}))
+		}
+	}
+}
+
+// heavyRequests builds one executor request per heavy key: the key's X and Y
+// blocks become the job inputs, its X2Y schema drives replication, and the
+// pair function joins one X block with one Y block. Owner election — a
+// schema may cover a block pair at several reducers — is the executor's.
+// The pair function joins from the per-block payload tables rather than
+// re-decoding the shipped frames: a block meets every block of the other
+// side, so per-pair decoding would multiply the decode work by the opposite
+// side's block count.
+func heavyRequests(plan *Plan, x, y *workload.Relation, cfg Config) []exec.Request {
+	reqs := make([]exec.Request, 0, len(plan.HeavyKeys))
+	for _, k := range plan.HeavyKeys {
+		key := k
+		xPayloads, xInputs := blockInputs(x, plan.xBlocks[key])
+		yPayloads, yInputs := blockInputs(y, plan.yBlocks[key])
+		reqs = append(reqs, exec.Request{
+			Name:    "skew-join-heavy:" + key,
+			Schema:  plan.HeavySchemas[key],
+			XInputs: xInputs,
+			YInputs: yInputs,
+			Workers: cfg.Workers,
+			Pair: func(a, b exec.Record, emit func([]byte)) error {
+				emitJoin(cfg, key, xPayloads[a.ID], yPayloads[b.ID], emit)
+				return nil
+			},
+		})
+	}
+	return reqs
+}
+
+// blockInputs collects each block's tuple payloads and frames them as one
+// executor input per block.
+func blockInputs(rel *workload.Relation, blocks []block) ([][]string, [][]byte) {
+	payloads := make([][]string, len(blocks))
+	inputs := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		ps := make([]string, len(b.tuples))
+		for j, ti := range b.tuples {
+			ps[j] = rel.Tuples[ti].Payload
+		}
+		payloads[i] = ps
+		inputs[i] = encodeBlock(ps)
+	}
+	return payloads, inputs
 }
 
 // ReferenceJoin computes the join with an in-memory hash join; it is the

@@ -94,6 +94,9 @@ func TestRunMatchesReferenceWithHeavyHitter(t *testing.T) {
 	if res.Plan.HeavyReducers == 0 {
 		t.Error("expected heavy reducers for the hot key")
 	}
+	if !res.HeavyAudited {
+		t.Error("heavy-key executor jobs were not audited")
+	}
 	// The engine enforces nothing here, but the plan promises every reducer
 	// stays within capacity; the counters prove it.
 	if res.Counters.MaxReducerLoad == 0 {
@@ -276,15 +279,12 @@ func TestEncodingRoundTrips(t *testing.T) {
 	}
 	_ = payload
 
-	s, b, k, p, err := decodeShuffleValue(encodeShuffleValue('Y', 3, "key1", "payload"))
-	if err != nil || s != 'Y' || b != 3 || k != "key1" || p != "payload" {
-		t.Errorf("shuffle round trip = %c %d %q %q %v", s, b, k, p, err)
+	s, k, p, err := decodeLightValue(encodeLightValue('Y', "key1", "payload"))
+	if err != nil || s != 'Y' || k != "key1" || p != "payload" {
+		t.Errorf("light value round trip = %c %q %q %v", s, k, p, err)
 	}
-	if _, _, _, _, err := decodeShuffleValue([]byte("garbage")); err == nil {
-		t.Error("decoded malformed shuffle value")
-	}
-	if _, _, _, _, err := decodeShuffleValue([]byte("Y|x|k|p")); err == nil {
-		t.Error("decoded non-numeric block ordinal")
+	if _, _, _, err := decodeLightValue([]byte("garbage")); err == nil {
+		t.Error("decoded malformed light shuffle value")
 	}
 	if _, _, _, _, err := decodeInput([]byte("nope")); err == nil {
 		t.Error("decoded malformed input record")
@@ -298,6 +298,23 @@ func TestEncodingRoundTrips(t *testing.T) {
 	}
 	if _, err := decodeJoined([]byte("a|b")); err == nil {
 		t.Error("decoded malformed joined record")
+	}
+
+	// Block frames must survive payloads containing the framing characters.
+	payloads := []string{"plain", "with:colon", "with|pipe", "", "12:34"}
+	got, err := decodeBlock(encodeBlock(payloads))
+	if err != nil || len(got) != len(payloads) {
+		t.Fatalf("block round trip = %v, %v", got, err)
+	}
+	for i := range payloads {
+		if got[i] != payloads[i] {
+			t.Errorf("block payload %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+	for _, bad := range []string{"x", "5:ab", "-1:", "9999999999999999999:a"} {
+		if _, err := decodeBlock([]byte(bad)); err == nil {
+			t.Errorf("decoded malformed block frame %q", bad)
+		}
 	}
 }
 
