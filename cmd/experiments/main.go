@@ -1,5 +1,6 @@
 // Command experiments regenerates the reproduction's tables and figure
-// series (T1..T13, see EXPERIMENTS.md). By default it runs everything at full
+// series (T1..T14, see EXPERIMENTS.md; T14 exercises the public pkg/assign
+// portfolio facade). By default it runs everything at full
 // scale and prints text tables; use -run to select experiments, -scale to
 // shrink the workloads, and -csv for machine-readable output.
 package main

@@ -1,477 +1,126 @@
-// Command pland serves mapping-schema planning decisions over HTTP. It wraps
-// the internal/planner portfolio — the paper's constructive algorithms raced
+// Command pland serves mapping-schema planning and execution over HTTP. It
+// fronts the pkg/assign SDK — the paper's constructive algorithms raced
 // against alternative packing policies, the greedy baseline, and bounded
-// exact search — behind a canonicalization cache, so repeated or isomorphic
-// workloads are answered without re-solving.
+// exact search, behind a canonicalization cache — with a synchronous v1 API
+// and an asynchronous v2 job API for the long-running instances (large n,
+// tight q, exact solves) a blocking request/response call cannot serve.
 //
 // Endpoints:
 //
-//	POST /v1/plan     {"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}
-//	                  {"problem":"X2Y","capacity":10,"x_sizes":[7,2,1],"y_sizes":[1,2,1,1]}
-//	POST /v1/execute  {"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"]}
-//	                  plan-and-run: plans the instance (input sizes are the
-//	                  payload byte lengths), executes the schema on the
-//	                  MapReduce engine via internal/exec, and returns the
-//	                  audited execution alongside the plan
-//	GET  /v1/stats    cache and solver-win counters
-//	GET  /healthz     liveness probe
+//	POST   /v1/plan          {"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}
+//	                         {"problem":"X2Y","capacity":10,"x_sizes":[7,2,1],"y_sizes":[1,2,1,1]}
+//	POST   /v1/execute       {"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"]}
+//	                         plan-and-run: plans the instance (input sizes are
+//	                         the payload byte lengths), executes the schema on
+//	                         the MapReduce engine, returns the audited run
+//	POST   /v2/jobs          {"type":"plan","plan":{...}} or
+//	                         {"type":"execute","execute":{...}} — submit an
+//	                         async job onto the bounded queue (202, or 429
+//	                         when the queue is full)
+//	GET    /v2/jobs/{id}     poll job status and, once succeeded, the result
+//	DELETE /v2/jobs/{id}     cancel a queued or running job
+//	GET    /v1/stats         cache, solver-win, and job-queue counters
+//	GET    /healthz          liveness probe
+//
+// Every error is the same JSON envelope: {"error":{"code":"...","message":"..."}}.
 //
 // Example:
 //
-//	pland -addr :8080 -cache 8192 -timeout 500ms
+//	pland -addr :8080 -cache 8192 -timeout 500ms -job-workers 4
 //	curl -s localhost:8080/v1/plan -d '{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}'
-//	curl -s localhost:8080/v1/execute -d '{"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"]}'
+//	curl -s localhost:8080/v2/jobs -d '{"type":"plan","plan":{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1],"timeout_ms":-1}}'
+//	curl -s localhost:8080/v2/jobs/<id>
+//
+// On SIGINT/SIGTERM pland stops accepting work, drains in-flight requests
+// and jobs for up to -drain, and marks whatever could not finish as failed
+// with a shutdown reason rather than dropping it.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/exec"
-	"repro/internal/planner"
+	"repro/pkg/assign"
 )
 
 func main() {
 	fs := flag.NewFlagSet("pland", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
-		cacheSize  = fs.Int("cache", planner.DefaultCacheEntries, "canonical plan cache capacity (0 disables)")
-		timeout    = fs.Duration("timeout", planner.DefaultTimeout, "default per-request planning budget")
-		maxTimeout = fs.Duration("max-timeout", 10*time.Second, "largest per-request budget a client may ask for")
+		cacheSize  = fs.Int("cache", assign.DefaultCacheEntries, "canonical plan cache capacity (0 disables)")
+		timeout    = fs.Duration("timeout", assign.DefaultTimeout, "default per-request planning budget")
+		maxTimeout = fs.Duration("max-timeout", 10*time.Second, "largest per-request budget a synchronous client may ask for")
 		maxBody    = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
 		maxInputs  = fs.Int("max-inputs", 200_000, "largest accepted instance size (total inputs)")
-		maxExec    = fs.Int("max-exec-inputs", 1000, "largest instance /v1/execute runs (pair work is quadratic)")
+		maxExec    = fs.Int("max-exec-inputs", 1000, "largest instance execute runs (pair work is quadratic)")
+		jobWorkers = fs.Int("job-workers", 0, "v2 job worker pool size (0 = GOMAXPROCS)")
+		queueDepth = fs.Int("queue-depth", 64, "v2 job queue depth; beyond it submits get 429")
+		resultTTL  = fs.Duration("result-ttl", 15*time.Minute, "how long finished v2 job results are retained for polling")
+		maxJobTO   = fs.Duration("max-job-timeout", 5*time.Minute, "largest planning budget a v2 job may ask for")
+		drain      = fs.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests and jobs")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
 	entries := *cacheSize
 	if entries == 0 {
-		entries = -1 // Config uses negative to disable, 0 for the default
+		entries = -1 // PlannerConfig uses negative to disable, 0 for the default
 	}
-	p := planner.New(planner.Config{CacheEntries: entries})
-	srv := newServer(p, serverConfig{
+	pl := assign.NewPlanner(assign.PlannerConfig{CacheEntries: entries})
+	srv := newServer(pl, serverConfig{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
 		MaxInputs:      *maxInputs,
 		MaxExecInputs:  *maxExec,
+		JobWorkers:     *jobWorkers,
+		QueueDepth:     *queueDepth,
+		ResultTTL:      *resultTTL,
+		MaxJobTimeout:  *maxJobTO,
 	})
-	log.Printf("pland: listening on %s (cache=%d entries, default budget %v)", *addr, *cacheSize, *timeout)
+	log.Printf("pland: listening on %s (cache=%d entries, default budget %v, queue depth %d)",
+		*addr, *cacheSize, *timeout, *queueDepth)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// newServer may raise MaxTimeout to DefaultTimeout; size the write
-		// deadline from the effective value so a budget-length solve can
-		// still deliver its response.
+		// deadline from the effective value so a budget-length synchronous
+		// solve can still deliver its response.
 		WriteTimeout: srv.cfg.MaxTimeout + 30*time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-serveErr:
 		log.Fatalf("pland: %v", err)
+	case <-ctx.Done():
 	}
-}
-
-// serverConfig bounds what one request may cost the service.
-type serverConfig struct {
-	DefaultTimeout time.Duration
-	MaxTimeout     time.Duration
-	MaxBodyBytes   int64
-	MaxInputs      int
-	// MaxExecInputs caps /v1/execute instances separately: execution does
-	// quadratic pair work, so its ceiling sits far below the planning cap.
-	MaxExecInputs int
-}
-
-// server is the HTTP front end over a Planner. It is a plain http.Handler so
-// tests drive it through httptest without a listener.
-type server struct {
-	planner *planner.Planner
-	cfg     serverConfig
-	mux     *http.ServeMux
-	started time.Time
-}
-
-func newServer(p *planner.Planner, cfg serverConfig) *server {
-	if cfg.DefaultTimeout <= 0 {
-		cfg.DefaultTimeout = planner.DefaultTimeout
-	}
-	if cfg.MaxTimeout < cfg.DefaultTimeout {
-		cfg.MaxTimeout = cfg.DefaultTimeout
-	}
-	if cfg.MaxBodyBytes <= 0 {
-		cfg.MaxBodyBytes = 8 << 20
-	}
-	if cfg.MaxInputs <= 0 {
-		cfg.MaxInputs = 200_000
-	}
-	if cfg.MaxExecInputs <= 0 {
-		cfg.MaxExecInputs = 1000
-	}
-	s := &server{planner: p, cfg: cfg, mux: http.NewServeMux(), started: time.Now()}
-	s.mux.HandleFunc("/v1/plan", s.handlePlan)
-	s.mux.HandleFunc("/v1/execute", s.handleExecute)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	return s
-}
-
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// planRequest is the JSON body of POST /v1/plan.
-type planRequest struct {
-	// Problem is "A2A" or "X2Y".
-	Problem string `json:"problem"`
-	// Capacity is the reducer capacity q.
-	Capacity core.Size `json:"capacity"`
-	// Sizes holds the A2A input sizes; XSizes/YSizes the X2Y sides.
-	Sizes  []core.Size `json:"sizes,omitempty"`
-	XSizes []core.Size `json:"x_sizes,omitempty"`
-	YSizes []core.Size `json:"y_sizes,omitempty"`
-	// TimeoutMS optionally overrides the planning budget, capped by the
-	// server's -max-timeout. A negative value requests the deterministic
-	// await-all mode (every portfolio member is awaited; each is
-	// individually bounded). It only shapes a fresh solve: an isomorphic
-	// instance already cached (or in flight) is served as previously solved
-	// regardless of this value — combine with NoCache to force a re-solve
-	// under this request's budget.
-	TimeoutMS int `json:"timeout_ms,omitempty"`
-	// NoCache skips the canonicalization cache for this request.
-	NoCache bool `json:"no_cache,omitempty"`
-}
-
-// planResponse is the JSON answer of POST /v1/plan.
-type planResponse struct {
-	Schema             *core.MappingSchema `json:"schema"`
-	Reducers           int                 `json:"reducers"`
-	Communication      core.Size           `json:"communication"`
-	ReplicationRate    float64             `json:"replication_rate"`
-	MaxLoad            core.Size           `json:"max_load"`
-	Winner             string              `json:"winner"`
-	LowerBoundReducers int                 `json:"lower_bound_reducers"`
-	Gap                int                 `json:"gap"`
-	Candidates         int                 `json:"candidates"`
-	CacheHit           bool                `json:"cache_hit"`
-	SharedFlight       bool                `json:"shared_flight"`
-	ElapsedMicros      int64               `json:"elapsed_us"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var body planRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
-		return
-	}
-	req, err := s.buildRequest(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	req.Budget.Timeout = s.requestBudget(body.TimeoutMS)
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+	stop() // a second signal kills immediately instead of waiting for drain
+	log.Printf("pland: shutdown signal received, draining for up to %v", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-
-	res, err := s.planner.Plan(ctx, req)
-	if err != nil {
-		writePlanError(w, err)
-		return
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("pland: http drain: %v", err)
 	}
-	writeJSON(w, http.StatusOK, planResponse{
-		Schema:             res.Schema,
-		Reducers:           res.Cost.Reducers,
-		Communication:      res.Cost.Communication,
-		ReplicationRate:    res.Cost.ReplicationRate,
-		MaxLoad:            res.Cost.MaxLoad,
-		Winner:             res.Winner,
-		LowerBoundReducers: res.LowerBoundReducers,
-		Gap:                res.Gap,
-		Candidates:         res.Candidates,
-		CacheHit:           res.CacheHit,
-		SharedFlight:       res.SharedFlight,
-		ElapsedMicros:      res.Elapsed.Microseconds(),
-	})
-}
-
-// requestBudget resolves a client timeout override against the server's caps.
-func (s *server) requestBudget(timeoutMS int) time.Duration {
-	switch {
-	case timeoutMS < 0:
-		return -1 // await-all mode; the request context still bounds the wait
-	case timeoutMS > 0:
-		// Clamp in milliseconds before converting so huge values cannot
-		// overflow time.Duration and dodge the cap.
-		ms := int64(timeoutMS)
-		if maxMS := s.cfg.MaxTimeout.Milliseconds(); ms > maxMS {
-			ms = maxMS
-		}
-		return time.Duration(ms) * time.Millisecond
-	default:
-		return s.cfg.DefaultTimeout
+	if err := srv.Close(dctx); err != nil {
+		log.Printf("pland: job drain: %v (unfinished jobs marked failed)", err)
 	}
-}
-
-// writePlanError maps a planner failure to a status: budget/context
-// exhaustion is a gateway timeout, everything else (e.g. an infeasible
-// instance) is unprocessable.
-func writePlanError(w http.ResponseWriter, err error) {
-	status := http.StatusUnprocessableEntity
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		status = http.StatusGatewayTimeout
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pland: %v", err)
 	}
-	writeError(w, status, err.Error())
-}
-
-// buildRequest translates the wire request into a planner request.
-func (s *server) buildRequest(body planRequest) (planner.Request, error) {
-	req := planner.Request{Capacity: body.Capacity, NoCache: body.NoCache}
-	// Validate everything request-shaped here so it uniformly maps to 400;
-	// errors from Plan itself (e.g. infeasible instances) map to 422.
-	if body.Capacity <= 0 {
-		return req, fmt.Errorf("capacity must be positive, got %d", body.Capacity)
-	}
-	if n := len(body.Sizes) + len(body.XSizes) + len(body.YSizes); n > s.cfg.MaxInputs {
-		return req, fmt.Errorf("instance has %d inputs, limit is %d", n, s.cfg.MaxInputs)
-	}
-	switch body.Problem {
-	case "A2A", "a2a":
-		req.Problem = core.ProblemA2A
-		set, err := core.NewInputSet(body.Sizes)
-		if err != nil {
-			return req, fmt.Errorf("sizes: %v", err)
-		}
-		req.Set = set
-	case "X2Y", "x2y":
-		req.Problem = core.ProblemX2Y
-		xs, err := core.NewInputSet(body.XSizes)
-		if err != nil {
-			return req, fmt.Errorf("x_sizes: %v", err)
-		}
-		ys, err := core.NewInputSet(body.YSizes)
-		if err != nil {
-			return req, fmt.Errorf("y_sizes: %v", err)
-		}
-		req.X, req.Y = xs, ys
-	default:
-		return req, fmt.Errorf("problem must be A2A or X2Y, got %q", body.Problem)
-	}
-	return req, nil
-}
-
-// executeRequest is the JSON body of POST /v1/execute. Input sizes are the
-// payload byte lengths, so the planned schema's capacity bound is about the
-// very bytes that are shuffled.
-type executeRequest struct {
-	// Problem is "A2A" or "X2Y".
-	Problem string `json:"problem"`
-	// Capacity is the reducer capacity q in bytes.
-	Capacity core.Size `json:"capacity"`
-	// Inputs holds the A2A payloads; XInputs/YInputs the X2Y sides.
-	Inputs  []string `json:"inputs,omitempty"`
-	XInputs []string `json:"x_inputs,omitempty"`
-	YInputs []string `json:"y_inputs,omitempty"`
-	// TimeoutMS and NoCache tune the planning step exactly as in /v1/plan.
-	TimeoutMS int  `json:"timeout_ms,omitempty"`
-	NoCache   bool `json:"no_cache,omitempty"`
-	// ReturnPairs includes the processed pair IDs in the response (capped).
-	ReturnPairs bool `json:"return_pairs,omitempty"`
-}
-
-// executeResponse is the JSON answer of POST /v1/execute.
-type executeResponse struct {
-	Schema         *core.MappingSchema `json:"schema"`
-	Reducers       int                 `json:"reducers"`
-	Winner         string              `json:"winner"`
-	CacheHit       bool                `json:"cache_hit"`
-	Pairs          int64               `json:"pairs"`
-	PairIDs        []string            `json:"pair_ids,omitempty"`
-	ShuffleRecords int64               `json:"shuffle_records"`
-	ShuffleBytes   int64               `json:"shuffle_bytes"`
-	MaxReducerLoad int64               `json:"max_reducer_load"`
-	Audited        bool                `json:"audited"`
-	ElapsedMicros  int64               `json:"elapsed_us"`
-}
-
-// maxReturnedPairs caps the pair list a single response may carry.
-const maxReturnedPairs = 10_000
-
-func (s *server) handleExecute(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var body executeRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
-		return
-	}
-	req, inputs, xInputs, yInputs, err := s.buildExecuteRequest(body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	req.Budget.Timeout = s.requestBudget(body.TimeoutMS)
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
-	defer cancel()
-
-	plan, err := s.planner.Plan(ctx, req)
-	if err != nil {
-		writePlanError(w, err)
-		return
-	}
-	// Execution has no cancellation points (its work is bounded by
-	// MaxExecInputs instead), so at least don't start it for a request whose
-	// budget the planning step already exhausted.
-	if err := ctx.Err(); err != nil {
-		writePlanError(w, err)
-		return
-	}
-	returnPairs := body.ReturnPairs
-	execRes, err := exec.Run(exec.Request{
-		Name:    "pland-execute",
-		Plan:    plan,
-		Inputs:  inputs,
-		XInputs: xInputs,
-		YInputs: yInputs,
-		Pair: func(a, b exec.Record, emit func([]byte)) error {
-			// The pair count comes from the executor's trace; materialize the
-			// IDs only when the client asked for them.
-			if returnPairs {
-				emit([]byte(fmt.Sprintf("%d,%d", a.ID, b.ID)))
-			}
-			return nil
-		},
-	})
-	if err != nil {
-		// The schema was just planned and validated, so an execution or audit
-		// failure is a server-side defect, not a client error.
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("executing plan: %v", err))
-		return
-	}
-	resp := executeResponse{
-		Schema:         plan.Schema,
-		Reducers:       plan.Schema.NumReducers(),
-		Winner:         plan.Winner,
-		CacheHit:       plan.CacheHit,
-		Pairs:          execRes.PairsProcessed,
-		ShuffleRecords: execRes.Counters.ShuffleRecords,
-		ShuffleBytes:   execRes.Counters.ShuffleBytes,
-		MaxReducerLoad: execRes.Counters.MaxReducerLoad,
-		Audited:        execRes.Audited,
-		ElapsedMicros:  time.Since(start).Microseconds(),
-	}
-	if body.ReturnPairs {
-		for i, rec := range execRes.Output {
-			if i >= maxReturnedPairs {
-				break
-			}
-			resp.PairIDs = append(resp.PairIDs, string(rec))
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// buildExecuteRequest validates the execute body and derives the planner
-// request plus the executor inputs.
-func (s *server) buildExecuteRequest(body executeRequest) (planner.Request, [][]byte, [][]byte, [][]byte, error) {
-	req := planner.Request{Capacity: body.Capacity, NoCache: body.NoCache}
-	if body.Capacity <= 0 {
-		return req, nil, nil, nil, fmt.Errorf("capacity must be positive, got %d", body.Capacity)
-	}
-	if n := len(body.Inputs) + len(body.XInputs) + len(body.YInputs); n > s.cfg.MaxExecInputs {
-		return req, nil, nil, nil, fmt.Errorf("instance has %d inputs, execution limit is %d", n, s.cfg.MaxExecInputs)
-	}
-	toSizes := func(field string, payloads []string) (*core.InputSet, [][]byte, error) {
-		sizes := make([]core.Size, len(payloads))
-		data := make([][]byte, len(payloads))
-		for i, p := range payloads {
-			sizes[i] = core.Size(len(p))
-			data[i] = []byte(p)
-		}
-		set, err := core.NewInputSet(sizes)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %v", field, err)
-		}
-		return set, data, nil
-	}
-	switch body.Problem {
-	case "A2A", "a2a":
-		req.Problem = core.ProblemA2A
-		set, data, err := toSizes("inputs", body.Inputs)
-		if err != nil {
-			return req, nil, nil, nil, err
-		}
-		req.Set = set
-		return req, data, nil, nil, nil
-	case "X2Y", "x2y":
-		req.Problem = core.ProblemX2Y
-		xs, xData, err := toSizes("x_inputs", body.XInputs)
-		if err != nil {
-			return req, nil, nil, nil, err
-		}
-		ys, yData, err := toSizes("y_inputs", body.YInputs)
-		if err != nil {
-			return req, nil, nil, nil, err
-		}
-		req.X, req.Y = xs, ys
-		return req, nil, xData, yData, nil
-	default:
-		return req, nil, nil, nil, fmt.Errorf("problem must be A2A or X2Y, got %q", body.Problem)
-	}
-}
-
-// statsResponse is the JSON answer of GET /v1/stats.
-type statsResponse struct {
-	planner.Stats
-	UptimeSeconds float64 `json:"uptime_seconds"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	writeJSON(w, http.StatusOK, statsResponse{
-		Stats:         s.planner.Stats(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("pland: encoding response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+	log.Printf("pland: bye")
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -9,15 +10,26 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/planner"
+	"repro/pkg/assign"
 )
 
-func newTestServer(t *testing.T) *httptest.Server {
+// newTestServerCfg spins a full server (planner, job manager, mux) behind
+// httptest and tears both down with the test.
+func newTestServerCfg(t *testing.T, cfg serverConfig) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{}))
-	t.Cleanup(srv.Close)
+	s := newServer(assign.NewPlanner(assign.PlannerConfig{}), cfg)
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
 	return srv
+}
+
+func newTestServer(t *testing.T) *httptest.Server {
+	return newTestServerCfg(t, serverConfig{})
 }
 
 func postPlan(t *testing.T, srv *httptest.Server, body string) (*http.Response, planResponse) {
@@ -36,6 +48,25 @@ func postPlan(t *testing.T, srv *httptest.Server, body string) (*http.Response, 
 	return resp, out
 }
 
+// decodeErrorEnvelope asserts the unified {"error":{"code","message"}} shape
+// and returns the code.
+func decodeErrorEnvelope(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error response is not the envelope shape: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("error envelope missing code or message: %+v", env)
+	}
+	return env.Error.Code
+}
+
 // TestPlanEndToEndA2A drives POST /v1/plan through a real HTTP round trip:
 // the answer must be a valid schema for the instance, and the isomorphic
 // repeat must be served from the cache.
@@ -48,7 +79,7 @@ func TestPlanEndToEndA2A(t *testing.T) {
 	if out.Schema == nil {
 		t.Fatal("no schema in response")
 	}
-	set := core.MustNewInputSet([]core.Size{3, 3, 2, 2, 4, 1})
+	set := assign.MustNewInputSet([]assign.Size{3, 3, 2, 2, 4, 1})
 	if err := out.Schema.ValidateA2A(set); err != nil {
 		t.Fatalf("served schema invalid: %v", err)
 	}
@@ -77,7 +108,7 @@ func TestPlanEndToEndA2A(t *testing.T) {
 	if out2.Reducers != out.Reducers {
 		t.Errorf("cache served %d reducers, fresh solve %d", out2.Reducers, out.Reducers)
 	}
-	permuted := core.MustNewInputSet([]core.Size{1, 4, 2, 3, 2, 3})
+	permuted := assign.MustNewInputSet([]assign.Size{1, 4, 2, 3, 2, 3})
 	if err := out2.Schema.ValidateA2A(permuted); err != nil {
 		t.Fatalf("cached schema invalid for permuted instance: %v", err)
 	}
@@ -89,8 +120,8 @@ func TestPlanEndToEndX2Y(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
-	xs := core.MustNewInputSet([]core.Size{7, 2, 1})
-	ys := core.MustNewInputSet([]core.Size{1, 2, 1, 1})
+	xs := assign.MustNewInputSet([]assign.Size{7, 2, 1})
+	ys := assign.MustNewInputSet([]assign.Size{1, 2, 1, 1})
 	if err := out.Schema.ValidateX2Y(xs, ys); err != nil {
 		t.Fatalf("served schema invalid: %v", err)
 	}
@@ -99,20 +130,25 @@ func TestPlanEndToEndX2Y(t *testing.T) {
 func TestPlanRejectsBadRequests(t *testing.T) {
 	srv := newTestServer(t)
 	cases := []struct {
-		body string
-		want int
+		body     string
+		want     int
+		wantCode string
 	}{
-		{`{"problem":"A2A","capacity":10}`, http.StatusBadRequest}, // no sizes
-		{`{"problem":"A2A","capacity":0,"sizes":[1]}`, http.StatusBadRequest},
-		{`{"problem":"nope","capacity":10,"sizes":[1]}`, http.StatusBadRequest},
-		{`{"problem":"A2A","capacity":10,"sizes":[1],"bogus":1}`, http.StatusBadRequest},
-		{`not json`, http.StatusBadRequest},
-		{`{"problem":"A2A","capacity":2,"sizes":[5,5]}`, http.StatusUnprocessableEntity}, // infeasible
+		{`{"problem":"A2A","capacity":10}`, http.StatusBadRequest, "bad_request"}, // no sizes
+		{`{"problem":"A2A","capacity":0,"sizes":[1]}`, http.StatusBadRequest, "bad_request"},
+		{`{"problem":"nope","capacity":10,"sizes":[1]}`, http.StatusBadRequest, "bad_request"},
+		{`{"problem":"A2A","capacity":10,"sizes":[1],"bogus":1}`, http.StatusBadRequest, "bad_request"},
+		{`not json`, http.StatusBadRequest, "bad_request"},
+		{`{"problem":"A2A","capacity":2,"sizes":[5,5]}`, http.StatusUnprocessableEntity, "unprocessable"}, // infeasible
 	}
 	for _, tc := range cases {
 		resp, _ := postPlan(t, srv, tc.body)
 		if resp.StatusCode != tc.want {
 			t.Errorf("body %q: status = %d, want %d", tc.body, resp.StatusCode, tc.want)
+			continue
+		}
+		if code := decodeErrorEnvelope(t, resp); code != tc.wantCode {
+			t.Errorf("body %q: error code = %q, want %q", tc.body, code, tc.wantCode)
 		}
 	}
 
@@ -120,15 +156,17 @@ func TestPlanRejectsBadRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	get.Body.Close()
+	defer get.Body.Close()
 	if get.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/plan status = %d, want 405", get.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, get); code != "method_not_allowed" {
+		t.Errorf("GET /v1/plan error code = %q", code)
 	}
 }
 
 func TestPlanRejectsOversizedInstance(t *testing.T) {
-	capped := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{MaxInputs: 4}))
-	defer capped.Close()
+	capped := newTestServerCfg(t, serverConfig{MaxInputs: 4})
 	resp, err := http.Post(capped.URL+"/v1/plan", "application/json",
 		bytes.NewBufferString(`{"problem":"A2A","capacity":10,"sizes":[1,1,1,1,1]}`))
 	if err != nil {
@@ -141,8 +179,7 @@ func TestPlanRejectsOversizedInstance(t *testing.T) {
 }
 
 func TestPlanRejectsOversizedBody(t *testing.T) {
-	capped := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{MaxBodyBytes: 64}))
-	defer capped.Close()
+	capped := newTestServerCfg(t, serverConfig{MaxBodyBytes: 64})
 	// A syntactically valid request whose body is longer than the cap.
 	body := `{"problem":"A2A","capacity":10,"sizes":[` + strings.Repeat("1,", 100) + `1]}`
 	for _, path := range []string{"/v1/plan", "/v1/execute"} {
@@ -162,11 +199,10 @@ func TestPlanBudgetExhaustionMapsToGatewayTimeout(t *testing.T) {
 	// exhausted before any solver can finish, so the planner surfaces the
 	// context error and the handler maps it to 504. NoCache keeps the request
 	// on the context-bounded solve path.
-	srv := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{
+	srv := newTestServerCfg(t, serverConfig{
 		DefaultTimeout: time.Nanosecond,
 		MaxTimeout:     time.Nanosecond,
-	}))
-	defer srv.Close()
+	})
 	var sizes []string
 	for i := 0; i < 5000; i++ {
 		sizes = append(sizes, "1")
@@ -179,6 +215,9 @@ func TestPlanBudgetExhaustionMapsToGatewayTimeout(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Errorf("budget exhaustion status = %d, want 504", resp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, resp); code != "plan_timeout" {
+		t.Errorf("error code = %q, want plan_timeout", code)
 	}
 }
 
@@ -282,8 +321,7 @@ func TestExecuteRejectsBadRequests(t *testing.T) {
 }
 
 func TestExecuteRejectsOversizedInstance(t *testing.T) {
-	capped := httptest.NewServer(newServer(planner.New(planner.Config{}), serverConfig{MaxExecInputs: 3}))
-	defer capped.Close()
+	capped := newTestServerCfg(t, serverConfig{MaxExecInputs: 3})
 	resp, err := http.Post(capped.URL+"/v1/execute", "application/json",
 		bytes.NewBufferString(`{"problem":"A2A","capacity":10,"inputs":["a","b","c","d"]}`))
 	if err != nil {
@@ -321,6 +359,9 @@ func TestStatsAndHealthz(t *testing.T) {
 	if len(st.SolverWins) == 0 {
 		t.Error("expected a solver win recorded")
 	}
+	if st.Jobs.QueueCapacity == 0 || st.Jobs.Workers == 0 {
+		t.Errorf("job stats missing: %+v", st.Jobs)
+	}
 
 	health, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -333,5 +374,20 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	if health.StatusCode != http.StatusOK || !strings.Contains(buf.String(), "ok") {
 		t.Errorf("healthz = %d %q", health.StatusCode, buf.String())
+	}
+}
+
+func TestUnknownEndpointGetsEnvelope(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if code := decodeErrorEnvelope(t, resp); code != "not_found" {
+		t.Errorf("error code = %q, want not_found", code)
 	}
 }

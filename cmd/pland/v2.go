@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Job kinds of the v2 API.
+const (
+	jobTypePlan    = "plan"
+	jobTypeExecute = "execute"
+)
+
+// jobSubmitRequest is the JSON body of POST /v2/jobs: one job of either
+// kind, with the same payload the synchronous v1 endpoint takes.
+type jobSubmitRequest struct {
+	// Type is "plan" or "execute".
+	Type string `json:"type"`
+	// Plan is the job payload when Type is "plan".
+	Plan *planRequest `json:"plan,omitempty"`
+	// Execute is the job payload when Type is "execute".
+	Execute *executeRequest `json:"execute,omitempty"`
+}
+
+// jobResponse is the JSON view of one job, returned by every v2 endpoint.
+type jobResponse struct {
+	ID    string `json:"id"`
+	Type  string `json:"type"`
+	State string `json:"state"`
+	// CreatedAt/StartedAt/FinishedAt stamp the lifecycle transitions;
+	// ExpiresAt is when a finished job's result is evicted.
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ExpiresAt  *time.Time `json:"expires_at,omitempty"`
+	// Result is the planResponse or executeResponse once State is
+	// "succeeded".
+	Result any `json:"result,omitempty"`
+	// Error carries the failure code and message once State is "failed" or
+	// "canceled".
+	Error *apiError `json:"error,omitempty"`
+}
+
+// jobView converts a manager snapshot into the wire shape.
+func jobView(snap jobs.Snapshot) jobResponse {
+	resp := jobResponse{
+		ID:        snap.ID,
+		Type:      snap.Kind,
+		State:     string(snap.State),
+		CreatedAt: snap.Created,
+		Result:    snap.Result,
+	}
+	stamp := func(t time.Time) *time.Time {
+		if t.IsZero() {
+			return nil
+		}
+		return &t
+	}
+	resp.StartedAt = stamp(snap.Started)
+	resp.FinishedAt = stamp(snap.Finished)
+	resp.ExpiresAt = stamp(snap.ExpiresAt)
+	switch {
+	case snap.State == jobs.StateCanceled:
+		// Cancellation wins over however the solver's abort surfaced (a raw
+		// context error when queued, a plan_timeout-shaped wrapper when the
+		// running portfolio was cut short): the client asked, the client
+		// gets the canceled code it can branch on.
+		resp.Error = &apiError{Code: codeCanceled, Message: "job canceled"}
+	case snap.Err != nil:
+		resp.Error = jobError(snap.Err)
+	}
+	return resp
+}
+
+// jobError maps a failed job's error to the stable envelope codes.
+// Handler-built *apiError values round-trip intact; everything else is
+// classified.
+func jobError(err error) *apiError {
+	var aerr *apiError
+	switch {
+	case errors.As(err, &aerr):
+		return aerr
+	case errors.Is(err, jobs.ErrShutdown):
+		return &apiError{Status: http.StatusServiceUnavailable, Code: codeShuttingDown, Message: err.Error()}
+	default:
+		return &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()}
+	}
+}
+
+// handleJobs serves POST /v2/jobs: validate synchronously (a malformed job
+// fails fast with 400), then enqueue the solve itself. A full queue pushes
+// back with 429 rather than buffering without bound.
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAPIError(w, methodNotAllowed("POST"))
+		return
+	}
+	var body jobSubmitRequest
+	if aerr := s.decodeBody(w, r, &body); aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	var run jobs.Func
+	switch body.Type {
+	case jobTypePlan:
+		if body.Plan == nil {
+			writeAPIError(w, badRequestf(`job type "plan" needs a "plan" payload`))
+			return
+		}
+		req := *body.Plan
+		if aerr := s.validatePlan(req); aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+		run = func(ctx context.Context) (any, error) {
+			jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
+			defer cancel()
+			resp, aerr := s.runPlan(jctx, req, s.cfg.MaxJobTimeout)
+			if aerr != nil {
+				return nil, aerr
+			}
+			return resp, nil
+		}
+	case jobTypeExecute:
+		if body.Execute == nil {
+			writeAPIError(w, badRequestf(`job type "execute" needs an "execute" payload`))
+			return
+		}
+		req := *body.Execute
+		if aerr := s.validateExecute(req); aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+		run = func(ctx context.Context) (any, error) {
+			jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
+			defer cancel()
+			resp, aerr := s.runExecute(jctx, req, s.cfg.MaxJobTimeout)
+			if aerr != nil {
+				return nil, aerr
+			}
+			return resp, nil
+		}
+	default:
+		writeAPIError(w, badRequestf(`job type must be "plan" or "execute", got %q`, body.Type))
+		return
+	}
+	snap, err := s.jobs.Submit(body.Type, run)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeAPIError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeQueueFull,
+			Message: "job queue is full, retry later"})
+		return
+	case errors.Is(err, jobs.ErrShutdown):
+		writeAPIError(w, &apiError{Status: http.StatusServiceUnavailable, Code: codeShuttingDown,
+			Message: "server is shutting down"})
+		return
+	case err != nil:
+		writeAPIError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView(snap))
+}
+
+// handleJob serves GET and DELETE /v2/jobs/{id}.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v2/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeAPIError(w, notFound("no such job"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		snap, err := s.jobs.Get(id)
+		if err != nil {
+			writeAPIError(w, notFound("no such job (unknown ID, or result expired)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, jobView(snap))
+	case http.MethodDelete:
+		snap, err := s.jobs.Cancel(id)
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			writeAPIError(w, notFound("no such job (unknown ID, or result expired)"))
+		case errors.Is(err, jobs.ErrFinished):
+			writeAPIError(w, &apiError{Status: http.StatusConflict, Code: codeConflict,
+				Message: "job already finished in state " + string(snap.State)})
+		default:
+			writeJSON(w, http.StatusOK, jobView(snap))
+		}
+	default:
+		writeAPIError(w, methodNotAllowed("GET or DELETE"))
+	}
+}

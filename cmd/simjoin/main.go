@@ -16,10 +16,10 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/simjoin"
 	"repro/internal/workload"
+	"repro/pkg/assign"
 )
 
 func main() {
@@ -68,7 +68,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := simjoin.Config{
-		Capacity:   core.Size(*q),
+		Capacity:   assign.Size(*q),
 		Threshold:  *threshold,
 		Similarity: sim,
 	}

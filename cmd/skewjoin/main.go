@@ -16,10 +16,10 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/skewjoin"
 	"repro/internal/workload"
+	"repro/pkg/assign"
 )
 
 func main() {
@@ -55,8 +55,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := skewjoin.Config{
-		Capacity:  core.Size(*q),
-		BlockSize: core.Size(*block),
+		Capacity:  assign.Size(*q),
+		BlockSize: assign.Size(*block),
 		CountOnly: true,
 	}
 	res, err := skewjoin.Run(x, y, cfg)
@@ -78,7 +78,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "output verified against the reference hash join: OK")
 
 	if *baseline && res.Plan.NumReducers > 0 {
-		base, err := skewjoin.HashJoinBaseline(x, y, res.Plan.NumReducers, core.Size(*q), true)
+		base, err := skewjoin.HashJoinBaseline(x, y, res.Plan.NumReducers, assign.Size(*q), true)
 		if err != nil {
 			return err
 		}

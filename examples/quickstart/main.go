@@ -1,44 +1,39 @@
-// Quickstart: build an A2A mapping schema for a handful of different-sized
-// inputs, validate it, print its cost, and then actually run it — the
-// executor compiles the schema into a MapReduce job, invokes the pair logic
-// exactly once per required pair, and audits the run against the schema.
+// Quickstart for the public SDK: plan an A2A mapping schema for a handful of
+// different-sized inputs, print its cost against the proved lower bounds,
+// and then actually run it — Execute compiles the schema into a MapReduce
+// job, invokes the pair logic exactly once per required pair, and audits the
+// run against the schema. Only pkg/assign is imported; internal packages are
+// implementation details.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/a2a"
-	"repro/internal/core"
-	"repro/internal/exec"
+	"repro/pkg/assign"
 )
 
 func main() {
 	// Six inputs (say, six files to compare pairwise) with sizes in MB, and
 	// reducers that can hold 10 MB each.
-	sizes := []core.Size{3, 3, 2, 2, 4, 1}
-	q := core.Size(10)
+	sizes := []assign.Size{3, 3, 2, 2, 4, 1}
+	ctx := context.Background()
 
-	set, err := core.NewInputSet(sizes)
+	res, err := assign.Plan(ctx,
+		assign.A2A(sizes),
+		assign.Capacity(10),
+		assign.Deterministic(), // await every portfolio member: stable output
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	schema, err := a2a.Solve(set, q)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := schema.ValidateA2A(set); err != nil {
-		log.Fatal(err)
-	}
-
-	cost := core.SchemaCost(schema, set.TotalSize())
-	bounds := a2a.LowerBounds(set, q)
-	fmt.Printf("algorithm:        %s\n", schema.Algorithm)
-	fmt.Printf("reducers:         %d (lower bound %d)\n", cost.Reducers, bounds.Reducers)
-	fmt.Printf("communication:    %d size units (lower bound %d)\n", cost.Communication, bounds.Communication)
-	fmt.Printf("replication rate: %.2f\n", cost.ReplicationRate)
-	for i, r := range schema.Reducers {
-		fmt.Printf("reducer %d (load %d/%d): inputs %v\n", i, r.Load, q, r.Inputs)
+	fmt.Printf("winner:           %s\n", res.Winner)
+	fmt.Printf("reducers:         %d (lower bound %d, gap %d)\n", res.Cost.Reducers, res.LowerBoundReducers, res.Gap)
+	fmt.Printf("communication:    %d size units\n", res.Cost.Communication)
+	fmt.Printf("replication rate: %.2f\n", res.Cost.ReplicationRate)
+	for i, r := range res.Schema.Reducers {
+		fmt.Printf("reducer %d (load %d/10): inputs %v\n", i, r.Load, r.Inputs)
 	}
 
 	// Execute the schema: the "files" here are just byte payloads of the
@@ -47,18 +42,17 @@ func main() {
 	for i, s := range sizes {
 		inputs[i] = make([]byte, s)
 	}
-	res, err := exec.Run(exec.Request{
-		Name:   "quickstart",
-		Schema: schema,
-		Inputs: inputs,
-		Pair: func(a, b exec.Record, emit func([]byte)) error {
+	ex, err := assign.Execute(ctx,
+		assign.Inputs(inputs),
+		assign.Capacity(10),
+		assign.Pair(func(a, b assign.Record, emit func([]byte)) error {
 			emit([]byte(fmt.Sprintf("(%d,%d)", a.ID, b.ID)))
 			return nil
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("executed:         %d pairs met, audited=%v, shuffle=%dB, max reducer load=%dB\n",
-		res.PairsProcessed, res.Audited, res.Counters.ShuffleBytes, res.Counters.MaxReducerLoad)
+		ex.PairsProcessed, ex.Audited, ex.ShuffleBytes, ex.MaxReducerLoad)
 }

@@ -1,59 +1,146 @@
-// Similarity join: generate a synthetic document corpus, build an A2A mapping
-// schema sized to a reducer capacity, and run the all-pairs similarity join on
-// the in-memory MapReduce engine, verifying the result against a nested-loop
-// reference.
+// Similarity join on the public SDK: generate a synthetic document corpus,
+// let assign.Execute plan an A2A mapping schema sized to a reducer capacity
+// and run the all-pairs Jaccard comparison on the in-memory MapReduce
+// engine — the pair logic runs exactly once per document pair at the pair's
+// owning reducer — and verify the result against a nested-loop reference.
+// Only pkg/assign and the standard library are used.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
 
-	"repro/internal/core"
-	"repro/internal/simjoin"
-	"repro/internal/workload"
+	"repro/pkg/assign"
 )
 
-func main() {
-	docs, err := workload.Documents(workload.CorpusSpec{
-		NumDocs:        200,
-		VocabularySize: 300,
-		MinTerms:       5,
-		MaxTerms:       30,
-		TermSkew:       1.2,
-	}, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
+const (
+	numDocs   = 200
+	vocab     = 300
+	minTerms  = 5
+	maxTerms  = 30
+	threshold = 0.5
+	capacity  = 4000 // bytes of document text per reducer
+)
 
-	cfg := simjoin.Config{
-		Capacity:   core.Size(4000), // bytes of document text per reducer
-		Threshold:  0.5,
-		Similarity: simjoin.Jaccard,
+// corpus builds numDocs random term-set documents over a Zipf-ish skewed
+// vocabulary, serialized as space-joined terms.
+func corpus(seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, vocab-1)
+	docs := make([][]byte, numDocs)
+	for d := range docs {
+		n := minTerms + rng.Intn(maxTerms-minTerms+1)
+		seen := map[uint64]bool{}
+		terms := make([]string, 0, n)
+		for len(terms) < n {
+			t := zipf.Uint64()
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, fmt.Sprintf("t%d", t))
+			}
+		}
+		sort.Strings(terms)
+		docs[d] = []byte(strings.Join(terms, " "))
 	}
-	res, err := simjoin.Run(docs, cfg)
+	return docs
+}
+
+// jaccard computes |A∩B| / |A∪B| over the serialized term sets.
+func jaccard(a, b []byte) float64 {
+	as := strings.Fields(string(a))
+	bs := map[string]bool{}
+	for _, t := range strings.Fields(string(b)) {
+		bs[t] = true
+	}
+	inter := 0
+	for _, t := range as {
+		if bs[t] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// assignExecute runs the all-pairs comparison through the SDK, reporting
+// every pair at or above the threshold to found.
+func assignExecute(docs [][]byte, found func(i, j int, score float64)) (*assign.Execution, error) {
+	return assign.Execute(context.Background(),
+		assign.Inputs(docs),
+		assign.Capacity(capacity),
+		assign.Named("similarityjoin"),
+		assign.Pair(func(a, b assign.Record, emit func([]byte)) error {
+			if s := jaccard(a.Data, b.Data); s >= threshold {
+				i, j := a.ID, b.ID
+				if i > j {
+					i, j = j, i
+				}
+				found(i, j, s)
+			}
+			return nil
+		}),
+	)
+}
+
+func main() {
+	docs := corpus(1)
+
+	type hit struct {
+		i, j  int
+		score float64
+	}
+	var mu sync.Mutex
+	var hits []hit
+	ex, err := assignExecute(docs, func(a, b int, score float64) {
+		mu.Lock()
+		hits = append(hits, hit{a, b, score})
+		mu.Unlock()
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("documents:            %d\n", len(docs))
-	fmt.Printf("schema algorithm:     %s\n", res.Schema.Algorithm)
-	fmt.Printf("reducers:             %d (lower bound %d)\n", res.SchemaCost.Reducers, res.Bounds.Reducers)
-	fmt.Printf("schema communication: %d bytes of documents\n", res.SchemaCost.Communication)
-	fmt.Printf("engine shuffle:       %d bytes\n", res.Counters.ShuffleBytes)
-	fmt.Printf("max reducer load:     %d bytes\n", res.Counters.MaxReducerLoad)
-	fmt.Printf("similar pairs found:  %d (threshold %.2f)\n", len(res.Pairs), cfg.Threshold)
+	fmt.Printf("winner:               %s\n", ex.Plan.Winner)
+	fmt.Printf("reducers:             %d (lower bound %d)\n", ex.Plan.Cost.Reducers, ex.Plan.LowerBoundReducers)
+	fmt.Printf("schema communication: %d bytes of documents\n", ex.Plan.Cost.Communication)
+	fmt.Printf("engine shuffle:       %d bytes\n", ex.ShuffleBytes)
+	fmt.Printf("max reducer load:     %d bytes\n", ex.MaxReducerLoad)
+	fmt.Printf("pairs compared:       %d (audited=%v)\n", ex.PairsProcessed, ex.Audited)
+	fmt.Printf("similar pairs found:  %d (threshold %.2f)\n", len(hits), threshold)
 
 	// Cross-check against the nested-loop reference.
-	ref := simjoin.NestedLoopReference(docs, cfg)
-	if len(ref) != len(res.Pairs) {
-		log.Fatalf("MapReduce run found %d pairs but the reference found %d", len(res.Pairs), len(ref))
+	ref := 0
+	for i := range docs {
+		for j := i + 1; j < len(docs); j++ {
+			if jaccard(docs[i], docs[j]) >= threshold {
+				ref++
+			}
+		}
+	}
+	if ref != len(hits) {
+		log.Fatalf("MapReduce run found %d pairs but the reference found %d", len(hits), ref)
 	}
 	fmt.Println("verified against the nested-loop reference: OK")
-	for i, p := range res.Pairs {
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].i != hits[b].i {
+			return hits[a].i < hits[b].i
+		}
+		return hits[a].j < hits[b].j
+	})
+	for i, p := range hits {
 		if i == 5 {
-			fmt.Printf("... and %d more\n", len(res.Pairs)-5)
+			fmt.Printf("... and %d more\n", len(hits)-5)
 			break
 		}
-		fmt.Printf("  doc %d ~ doc %d (similarity %.3f)\n", p.I, p.J, p.Score)
+		fmt.Printf("  doc %d ~ doc %d (similarity %.3f)\n", p.i, p.j, p.score)
 	}
 }

@@ -1,58 +1,91 @@
-// Skew join: generate two relations with Zipf-distributed join keys (heavy
-// hitters), plan the join with per-heavy-hitter X2Y mapping schemas, run it
-// on the MapReduce engine, and compare its load profile against the plain
-// hash-join baseline that sends every key to a single reducer.
+// Skew join's core move on the public SDK: one heavy join key whose X and Y
+// tuples overflow any single reducer is joined through an X2Y mapping
+// schema — assign.Execute plans the block split, replicates tuples to the
+// reducers the schema names, and runs the cross pairs exactly once each,
+// audited — and the load profile is compared against the single-reducer
+// hash-join treatment of the same key. Only pkg/assign and the standard
+// library are used.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/skewjoin"
-	"repro/internal/workload"
+	"repro/pkg/assign"
 )
 
+const (
+	xTuples  = 400
+	yTuples  = 300
+	payload  = 12   // bytes per tuple
+	capacity = 2000 // bytes of tuples per reducer
+)
+
+// tuples fabricates n fixed-size payloads for one side of the hot key.
+func tuples(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, payload)
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(26))
+		}
+		out[i] = b
+	}
+	return out
+}
+
 func main() {
-	x, err := workload.GenerateRelation(workload.RelationSpec{
-		Name: "X", NumTuples: 5000, NumKeys: 100, Skew: 1.3, PayloadBytes: 12}, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	y, err := workload.GenerateRelation(workload.RelationSpec{
-		Name: "Y", NumTuples: 5000, NumKeys: 100, Skew: 1.3, PayloadBytes: 12}, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Every X tuple of the hot key must meet every Y tuple: 400+300 tuples
+	// of 12 bytes are 8400 bytes against a 2000-byte reducer capacity, so no
+	// single reducer can hold the key — the exact situation that breaks a
+	// plain hash join. The X2Y schema splits both sides into blocks and
+	// covers every cross pair of blocks within capacity.
+	x := tuples(xTuples, 7)
+	y := tuples(yTuples, 8)
 
-	capacity := core.Size(16000) // bytes of tuples per reducer
-	cfg := skewjoin.Config{Capacity: capacity, CountOnly: true}
-	res, err := skewjoin.Run(x, y, cfg)
+	var joined int64
+	ex, err := assign.Execute(context.Background(),
+		assign.XYInputs(x, y),
+		assign.Capacity(capacity),
+		assign.Named("skewjoin-hotkey"),
+		assign.Deterministic(),
+		assign.Pair(func(a, b assign.Record, emit func([]byte)) error {
+			// A real join would emit the concatenated tuple; counting keeps
+			// the example's output small.
+			return nil
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	joined = ex.PairsProcessed
 
-	fmt.Printf("tuples:              %d + %d\n", len(x.Tuples), len(y.Tuples))
-	fmt.Printf("heavy hitters:       %d %v\n", len(res.Plan.HeavyKeys), res.Plan.HeavyKeys)
-	fmt.Printf("reducers:            %d (%d light, %d heavy)\n",
-		res.Plan.NumReducers, res.Plan.LightReducers, res.Plan.HeavyReducers)
-	fmt.Printf("communication:       %d bytes\n", res.Counters.ShuffleBytes)
-	fmt.Printf("max reducer load:    %d bytes (capacity %d)\n", res.Counters.MaxReducerLoad, capacity)
-	fmt.Printf("join output rows:    %d\n", res.JoinedCount)
+	fmt.Printf("hot-key tuples:      %d (X) x %d (Y)\n", xTuples, yTuples)
+	fmt.Printf("winner:              %s\n", ex.Plan.Winner)
+	fmt.Printf("reducers:            %d (lower bound %d)\n", ex.Plan.Cost.Reducers, ex.Plan.LowerBoundReducers)
+	fmt.Printf("communication:       %d bytes shuffled\n", ex.ShuffleBytes)
+	fmt.Printf("max schema load:     %d bytes of tuples (capacity %d)\n", ex.Plan.Cost.MaxLoad, capacity)
+	fmt.Printf("max engine load:     %d bytes incl. record framing\n", ex.MaxReducerLoad)
+	fmt.Printf("join output rows:    %d (audited=%v)\n", joined, ex.Audited)
 
-	// Baseline: plain hash join with the same number of reducers.
-	base, err := skewjoin.HashJoinBaseline(x, y, res.Plan.NumReducers, capacity, true)
-	if err != nil {
-		log.Fatal(err)
+	if want := int64(xTuples) * int64(yTuples); joined != want {
+		log.Fatalf("join produced %d rows, want %d (every cross pair exactly once)", joined, want)
 	}
-	fmt.Printf("baseline max load:   %d bytes (capacity violated: %v)\n",
-		base.Counters.MaxReducerLoad, base.CapacityViolated)
-	if res.JoinedCount != base.JoinedCount {
-		log.Fatalf("output mismatch: skew-aware %d rows, baseline %d rows", res.JoinedCount, base.JoinedCount)
+	fmt.Println("output verified: every cross pair joined exactly once")
+
+	// Baseline: the plain hash join sends the whole hot key to ONE reducer.
+	var baselineLoad int64
+	for _, t := range x {
+		baselineLoad += int64(len(t))
 	}
-	fmt.Println("outputs match the baseline: OK")
-	if base.Counters.MaxReducerLoad > 0 && res.Counters.MaxReducerLoad > 0 {
-		fmt.Printf("load improvement:    %.1fx lower max reducer load than the baseline\n",
-			float64(base.Counters.MaxReducerLoad)/float64(res.Counters.MaxReducerLoad))
+	for _, t := range y {
+		baselineLoad += int64(len(t))
+	}
+	fmt.Printf("hash-join baseline:  %d bytes on a single reducer (no parallelism within the key)\n", baselineLoad)
+	if ex.Plan.Cost.Reducers > 1 {
+		fmt.Printf("skew-aware split:    %d reducers share the pair work instead\n", ex.Plan.Cost.Reducers)
 	}
 }

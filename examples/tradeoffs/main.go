@@ -1,44 +1,55 @@
 // Tradeoffs: sweep the reducer capacity q for one A2A instance and print the
 // three tradeoff curves the paper describes — capacity vs number of reducers,
 // capacity vs communication cost, and capacity vs parallelism (max reducer
-// load / makespan on a fixed worker pool).
+// load / makespan on a fixed worker pool). Built entirely on the pkg/assign
+// SDK: the instance is Zipf-sized with the standard library and every point
+// is planned through assign.Plan.
 package main
 
 import (
+	"context"
+	"fmt"
 	"log"
+	"math/rand"
 
-	"repro/internal/a2a"
-	"repro/internal/core"
-	"repro/internal/report"
-	"repro/internal/workload"
+	"repro/pkg/assign"
 )
 
 func main() {
 	const (
 		m       = 800
 		workers = 16
+		seed    = 3
 	)
-	set, err := workload.InputSet(workload.SizeSpec{
-		Dist: workload.Zipf, Min: 1, Max: 30, Skew: 1.5}, m, 3)
-	if err != nil {
-		log.Fatal(err)
+	// Zipf-distributed input sizes in [1, 30]: a few big inputs, a long tail
+	// of small ones.
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.5, 1, 29)
+	sizes := make([]assign.Size, m)
+	var total assign.Size
+	for i := range sizes {
+		sizes[i] = assign.Size(1 + zipf.Uint64())
+		total += sizes[i]
 	}
 
-	tbl := report.NewTable(
-		"Tradeoffs: reducer capacity q vs reducers, communication, and parallelism",
-		"q", "reducers", "communication", "replication", "max_load", "makespan(16 workers)")
-	for _, q := range []core.Size{64, 96, 128, 192, 256, 384, 512, 768} {
-		schema, err := a2a.Solve(set, q)
+	ctx := context.Background()
+	fmt.Println("Tradeoffs: reducer capacity q vs reducers, communication, and parallelism")
+	fmt.Printf("%6s %9s %14s %12s %9s %21s\n", "q", "reducers", "communication", "replication", "max_load", "makespan(16 workers)")
+	for _, q := range []assign.Size{64, 96, 128, 192, 256, 384, 512, 768} {
+		res, err := assign.Plan(ctx,
+			assign.A2A(sizes),
+			assign.Capacity(q),
+			assign.Deterministic(),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cost := core.CostWithWorkers(schema, set.TotalSize(), workers)
-		tbl.AddRow(q, cost.Reducers, cost.Communication, cost.ReplicationRate, cost.MaxLoad, cost.Makespan)
+		cost := assign.CostWithWorkers(res.Schema, total, workers)
+		fmt.Printf("%6d %9d %14d %12.2f %9d %21d\n",
+			q, cost.Reducers, cost.Communication, cost.ReplicationRate, cost.MaxLoad, cost.Makespan)
 	}
-	log.SetFlags(0)
-	log.Print("\n" + tbl.String())
-	log.Print("Reading the table: as q grows the number of reducers and the total communication\n" +
-		"fall (tradeoffs i and iii), while each reduce task gets bigger (max load = q) and the\n" +
+	fmt.Println("\nReading the table: as q grows the number of reducers and the total communication\n" +
+		"fall (tradeoffs i and iii), while each reduce task gets bigger (max load -> q) and the\n" +
 		"number of tasks — the maximum usable degree of parallelism — collapses (tradeoff ii).\n" +
 		"On this fixed 16-worker pool the makespan still falls because the total shuffled data\n" +
 		"shrinks; the parallelism price only shows once the task count drops near the pool size.")

@@ -109,5 +109,6 @@ func All() []Experiment {
 		{"T11", "Speedup curves on a simulated cluster (parallelism tradeoff)", T11SpeedupCurves},
 		{"T12", "Redundancy-pruning ablation on top of each algorithm", T12PruningAblation},
 		{"T13", "Medium-sized inputs: Steiner-triple cover vs pair-per-reducer", T13MediumInputs},
+		{"T14", "Portfolio planner (pkg/assign) vs baseline constructive dispatch", T14Portfolio},
 	}
 }

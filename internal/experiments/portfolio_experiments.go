@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workload"
+	"repro/pkg/assign"
+)
+
+// T14Portfolio compares the public SDK's portfolio planner (pkg/assign in
+// deterministic await-all mode) against the paper's baseline constructive
+// dispatch on the same instances: the portfolio must never be worse, and
+// the gap column shows how often racing alternative packing policies, the
+// greedy baseline, and bounded exact search closes the distance to the
+// proved lower bound. This is also the regression gate for the SDK-facade
+// migration: cmd and example binaries plan through exactly this path.
+func T14Portfolio(p Params) (*report.Table, error) {
+	p = p.normalize()
+	tbl := report.NewTable(
+		"T14  Portfolio planner (pkg/assign) vs baseline constructive dispatch, A2A Zipf sizes",
+		"m", "q", "lb_reducers", "baseline", "portfolio", "won_by", "gap", "improved")
+	ctx := context.Background()
+	for _, m := range []int{p.scaled(40, 8), p.scaled(120, 12), p.scaled(400, 16)} {
+		sizes, err := workload.Sizes(sizeSpecFor(workload.Zipf, 30), m, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		set, err := core.NewInputSet(sizes)
+		if err != nil {
+			return nil, err
+		}
+		q := set.MaxSize() * 4
+		baseline, err := a2a.Solve(set, q)
+		if err != nil {
+			return nil, err
+		}
+		res, err := assign.Plan(ctx,
+			assign.A2A(sizes),
+			assign.Capacity(q),
+			assign.Deterministic(),
+			assign.NoCache(), // measure a fresh solve, not an earlier run's cache entry
+		)
+		if err != nil {
+			return nil, err
+		}
+		if res.Schema.NumReducers() > baseline.NumReducers() {
+			// The portfolio always awaits the baseline member, so this would
+			// be a planner defect worth failing the experiment over.
+			tbl.AddRow(m, q, res.LowerBoundReducers, baseline.NumReducers(),
+				res.Schema.NumReducers(), res.Winner, res.Gap, "WORSE(bug)")
+			continue
+		}
+		improved := "no"
+		if res.Schema.NumReducers() < baseline.NumReducers() {
+			improved = "yes"
+		}
+		tbl.AddRow(m, q, res.LowerBoundReducers, baseline.NumReducers(),
+			res.Schema.NumReducers(), res.Winner, res.Gap, improved)
+	}
+	return tbl, nil
+}

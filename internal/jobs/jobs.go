@@ -1,0 +1,446 @@
+// Package jobs runs expensive work asynchronously behind a bounded queue: a
+// fixed worker pool drains submitted jobs, results are retained for a TTL so
+// clients can poll for them, cancellation propagates through each job's
+// context, and a full queue pushes back instead of buffering without bound.
+// cmd/pland's v2 API is built on it — combinatorial solves (large n, tight
+// q, exact search) belong behind an asynchronous, budget-aware interface,
+// not a blocking request/response call.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued → running → {succeeded, failed, canceled}, except that a queued job
+// may move straight to canceled (client cancel) or failed (shutdown).
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Func is the work of one job. It must honor ctx: cancellation (client
+// DELETE or manager shutdown) arrives as ctx.Done().
+type Func func(ctx context.Context) (any, error)
+
+// Manager errors.
+var (
+	// ErrQueueFull is returned by Submit when the queue is at capacity; HTTP
+	// front ends map it to 429.
+	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrShutdown is returned by Submit after Shutdown began, and is the
+	// failure reason of jobs the shutdown drained.
+	ErrShutdown = errors.New("jobs: manager is shutting down")
+	// ErrNotFound is returned for unknown (or already-expired) job IDs.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished is returned by Cancel on a job that already reached a
+	// terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+)
+
+// Config configures New. The zero value uses the defaults.
+type Config struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many submitted jobs may wait for a worker;
+	// 0 means 256. Submit returns ErrQueueFull beyond it.
+	QueueDepth int
+	// ResultTTL is how long a finished job (and its result) is retained for
+	// polling; 0 means 15 minutes.
+	ResultTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Snapshot is an immutable view of one job, safe to hold across the job's
+// further transitions.
+type Snapshot struct {
+	// ID addresses the job in Get and Cancel.
+	ID string
+	// Kind is the caller-supplied job type label.
+	Kind string
+	// State is the lifecycle position at snapshot time.
+	State State
+	// Result is the Func's return value once State is StateSucceeded.
+	Result any
+	// Err is the failure or cancellation reason once State is StateFailed
+	// or StateCanceled.
+	Err error
+	// Created, Started, and Finished stamp the transitions (zero until
+	// reached).
+	Created, Started, Finished time.Time
+	// ExpiresAt is when a finished job is evicted; zero while unfinished.
+	ExpiresAt time.Time
+}
+
+// job is the mutable record behind a Snapshot; mu of the owning Manager
+// guards every field below fn.
+type job struct {
+	id   string
+	kind string
+	fn   Func
+
+	state           State
+	result          any
+	err             error
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	expiresAt       time.Time
+	cancelRequested bool
+	cancel          context.CancelFunc // non-nil while running
+}
+
+func (j *job) snapshot() Snapshot {
+	return Snapshot{
+		ID:        j.id,
+		Kind:      j.kind,
+		State:     j.state,
+		Result:    j.result,
+		Err:       j.err,
+		Created:   j.created,
+		Started:   j.started,
+		Finished:  j.finished,
+		ExpiresAt: j.expiresAt,
+	}
+}
+
+// Manager owns the queue, the worker pool, and the retained results. Create
+// with New; a Manager is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals workers that pending grew or closed flipped
+	jobs map[string]*job
+	// pending is the waiting line, oldest first. A canceled queued job is
+	// removed immediately, so its slot frees for new submits right away.
+	pending []*job
+	closed  bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	workers    sync.WaitGroup
+	janitor    sync.WaitGroup
+	stopJanit  chan struct{}
+
+	submitted, succeeded, failed, canceled int64
+}
+
+// New builds a Manager and starts its workers and TTL janitor.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		stopJanit: make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	m.janitor.Add(1)
+	go m.runJanitor()
+	return m
+}
+
+// Submit enqueues fn as a new job and returns its queued snapshot. It never
+// blocks: a full queue returns ErrQueueFull immediately.
+func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
+	if fn == nil {
+		return Snapshot{}, fmt.Errorf("jobs: nil Func")
+	}
+	j := &job{id: newID(), kind: kind, fn: fn, state: StateQueued, created: time.Now()}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, ErrShutdown
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		return Snapshot{}, ErrQueueFull
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.id] = j
+	m.submitted++
+	snap := j.snapshot()
+	m.cond.Signal()
+	m.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns the job's current snapshot. Expired jobs are evicted lazily,
+// so a finished job older than the TTL reports ErrNotFound exactly as if
+// the janitor had already swept it.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	if j.state.Terminal() && time.Now().After(j.expiresAt) {
+		delete(m.jobs, id)
+		return Snapshot{}, ErrNotFound
+	}
+	return j.snapshot(), nil
+}
+
+// Cancel requests cancellation. A queued job is canceled immediately; a
+// running job has its context canceled and reports StateCanceled once its
+// Func returns (poll Get to observe it). Canceling a finished job returns
+// its snapshot with ErrFinished.
+func (m *Manager) Cancel(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || (j.state.Terminal() && time.Now().After(j.expiresAt)) {
+		delete(m.jobs, id)
+		return Snapshot{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		// Remove it from the waiting line so its queue slot frees
+		// immediately instead of occupying capacity until a worker skips it.
+		for i, p := range m.pending {
+			if p == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		j.cancelRequested = true
+		m.finishLocked(j, StateCanceled, nil, context.Canceled)
+		return j.snapshot(), nil
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return j.snapshot(), nil
+	default:
+		return j.snapshot(), ErrFinished
+	}
+}
+
+// Stats is a point-in-time census of the manager.
+type Stats struct {
+	// QueueDepth and QueueCapacity describe the waiting line.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Retained is how many jobs (any state) are currently addressable.
+	Retained int `json:"retained"`
+	// Running is how many jobs are executing right now.
+	Running int `json:"running"`
+	// Submitted, Succeeded, Failed, and Canceled are lifetime totals.
+	Submitted int64 `json:"submitted"`
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		QueueDepth:    len(m.pending),
+		QueueCapacity: m.cfg.QueueDepth,
+		Workers:       m.cfg.Workers,
+		Retained:      len(m.jobs),
+		Submitted:     m.submitted,
+		Succeeded:     m.succeeded,
+		Failed:        m.failed,
+		Canceled:      m.canceled,
+	}
+	for _, j := range m.jobs {
+		if j.state == StateRunning {
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Shutdown stops intake, cancels every running job's context, waits for the
+// workers up to ctx's deadline, and marks every job that did not finish in
+// time failed with ErrShutdown — jobs are never silently dropped. It returns
+// ctx.Err() when the drain deadline cut the wait short.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.cond.Broadcast() // wake idle workers so they observe closed and exit
+	m.mu.Unlock()
+
+	close(m.stopJanit)
+	m.baseCancel() // running jobs see ctx.Done()
+
+	done := make(chan struct{})
+	go func() {
+		m.workers.Wait()
+		m.janitor.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+	}
+
+	// Whatever is still queued or running at this point is failed with a
+	// reason instead of being dropped.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if !j.state.Terminal() {
+			m.finishLocked(j, StateFailed, nil, ErrShutdown)
+		}
+	}
+	m.mu.Unlock()
+	return drainErr
+}
+
+// worker drains the waiting line until shutdown.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.run(j)
+	}
+}
+
+// run executes one dequeued job.
+func (m *Manager) run(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued { // canceled while waiting
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	fn := j.fn
+	m.mu.Unlock()
+	defer cancel()
+
+	result, err := fn(ctx)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state != StateRunning {
+		return // shutdown already failed it
+	}
+	switch {
+	case err == nil:
+		m.finishLocked(j, StateSucceeded, result, nil)
+	case j.cancelRequested && errors.Is(err, context.Canceled):
+		m.finishLocked(j, StateCanceled, nil, err)
+	case m.baseCtx.Err() != nil && errors.Is(err, context.Canceled):
+		m.finishLocked(j, StateFailed, nil, fmt.Errorf("%w: %v", ErrShutdown, err))
+	default:
+		m.finishLocked(j, StateFailed, nil, err)
+	}
+}
+
+// finishLocked moves a job to a terminal state. m.mu must be held.
+func (m *Manager) finishLocked(j *job, s State, result any, err error) {
+	j.state = s
+	j.result = result
+	j.err = err
+	j.finished = time.Now()
+	j.expiresAt = j.finished.Add(m.cfg.ResultTTL)
+	j.fn = nil // release the closure and whatever it captured
+	j.cancel = nil
+	switch s {
+	case StateSucceeded:
+		m.succeeded++
+	case StateFailed:
+		m.failed++
+	case StateCanceled:
+		m.canceled++
+	}
+}
+
+// runJanitor periodically evicts expired finished jobs so retention is
+// bounded even when nobody polls.
+func (m *Manager) runJanitor() {
+	defer m.janitor.Done()
+	interval := m.cfg.ResultTTL / 4
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopJanit:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			m.mu.Lock()
+			for id, j := range m.jobs {
+				if j.state.Terminal() && now.After(j.expiresAt) {
+					delete(m.jobs, id)
+				}
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// newID returns a 16-byte random hex job ID.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: reading random ID: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

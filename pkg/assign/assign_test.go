@@ -1,0 +1,202 @@
+package assign_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/assign"
+)
+
+func TestPlanA2A(t *testing.T) {
+	sizes := []assign.Size{3, 3, 2, 2, 4, 1}
+	res, err := assign.Plan(context.Background(),
+		assign.A2A(sizes),
+		assign.Capacity(10),
+		assign.Deterministic(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := assign.MustNewInputSet(sizes)
+	if err := res.Schema.ValidateA2A(set); err != nil {
+		t.Fatalf("planned schema invalid: %v", err)
+	}
+	if res.Cost.Reducers != res.Schema.NumReducers() {
+		t.Errorf("cost reducers %d != schema %d", res.Cost.Reducers, res.Schema.NumReducers())
+	}
+	if res.Schema.NumReducers() < res.LowerBoundReducers {
+		t.Errorf("reducers %d below proved lower bound %d", res.Schema.NumReducers(), res.LowerBoundReducers)
+	}
+	if res.Gap != res.Schema.NumReducers()-res.LowerBoundReducers {
+		t.Errorf("gap %d inconsistent", res.Gap)
+	}
+	if res.Winner == "" {
+		t.Error("missing winner")
+	}
+}
+
+func TestPlanX2Y(t *testing.T) {
+	xs := []assign.Size{7, 2, 1}
+	ys := []assign.Size{1, 2, 1, 1}
+	res, err := assign.Plan(context.Background(),
+		assign.X2Y(xs, ys),
+		assign.Capacity(10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schema.ValidateX2Y(assign.MustNewInputSet(xs), assign.MustNewInputSet(ys)); err != nil {
+		t.Fatalf("planned schema invalid: %v", err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := assign.Plan(ctx, assign.Capacity(10)); !errors.Is(err, assign.ErrNoInstance) {
+		t.Errorf("no instance: err = %v, want ErrNoInstance", err)
+	}
+	if _, err := assign.Plan(ctx, assign.A2A([]assign.Size{1, 2})); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("missing capacity: err = %v", err)
+	}
+	if _, err := assign.Plan(ctx, assign.A2A([]assign.Size{1}), assign.X2Y([]assign.Size{1}, []assign.Size{1}), assign.Capacity(5)); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Errorf("conflicting problems: err = %v", err)
+	}
+	// Infeasible instance: two inputs that can never share a reducer.
+	if _, err := assign.Plan(ctx, assign.A2A([]assign.Size{5, 5}), assign.Capacity(2)); !errors.Is(err, assign.ErrInfeasible) {
+		t.Errorf("infeasible: err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanCacheIsolationAndHits(t *testing.T) {
+	pl := assign.NewPlanner(assign.PlannerConfig{CacheEntries: 128})
+	ctx := context.Background()
+	first, err := pl.Plan(ctx, assign.A2A([]assign.Size{2, 2, 2, 2}), assign.Capacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first plan cannot be a cache hit")
+	}
+	// An isomorphic permutation must be served from this planner's cache.
+	again, err := pl.Plan(ctx, assign.A2A([]assign.Size{2, 2, 2, 2}), assign.Capacity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("identical repeat was not a cache hit")
+	}
+	st := pl.Stats()
+	if st.Requests != 2 || st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want 2 requests / 1 hit / 1 miss", st)
+	}
+}
+
+func TestExecuteA2A(t *testing.T) {
+	payloads := [][]byte{[]byte("aaa"), []byte("bbb"), []byte("cc"), []byte("d")}
+	var mu sync.Mutex
+	met := map[string]int{}
+	ex, err := assign.Execute(context.Background(),
+		assign.Inputs(payloads),
+		assign.Capacity(10),
+		assign.Pair(func(a, b assign.Record, emit func([]byte)) error {
+			mu.Lock()
+			met[fmt.Sprintf("%d-%d", a.ID, b.ID)]++
+			mu.Unlock()
+			emit([]byte{byte(a.ID), byte(b.ID)})
+			return nil
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PairsProcessed != 6 {
+		t.Errorf("pairs = %d, want 6", ex.PairsProcessed)
+	}
+	if !ex.Audited {
+		t.Error("run was not audited")
+	}
+	if len(ex.Output) != 6 {
+		t.Errorf("output = %d records, want 6", len(ex.Output))
+	}
+	for pair, n := range met {
+		if n != 1 {
+			t.Errorf("pair %s met %d times, want exactly once", pair, n)
+		}
+	}
+	if ex.ShuffleBytes == 0 || ex.MaxReducerLoad == 0 {
+		t.Error("expected non-zero shuffle accounting")
+	}
+	if ex.Plan == nil || ex.Plan.Schema == nil {
+		t.Fatal("execution carries no plan")
+	}
+}
+
+func TestExecuteX2Y(t *testing.T) {
+	x := [][]byte{[]byte("aaaaaaa"), []byte("bb"), []byte("c")}
+	y := [][]byte{[]byte("d"), []byte("ee"), []byte("f"), []byte("g")}
+	ex, err := assign.Execute(context.Background(),
+		assign.XYInputs(x, y),
+		assign.Capacity(10),
+		assign.Pair(func(a, b assign.Record, emit func([]byte)) error { return nil }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PairsProcessed != 12 {
+		t.Errorf("pairs = %d, want 12 (3x4 cross pairs)", ex.PairsProcessed)
+	}
+	if !ex.Audited {
+		t.Error("run was not audited")
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	ctx := context.Background()
+	pair := assign.Pair(func(a, b assign.Record, emit func([]byte)) error { return nil })
+	if _, err := assign.Execute(ctx, assign.Inputs([][]byte{[]byte("a"), []byte("b")}), assign.Capacity(4)); !errors.Is(err, assign.ErrNoPair) {
+		t.Errorf("missing Pair: err = %v, want ErrNoPair", err)
+	}
+	if _, err := assign.Execute(ctx, assign.A2A([]assign.Size{1, 1}), assign.Capacity(4), pair); err == nil || !strings.Contains(err.Error(), "concrete") {
+		t.Errorf("abstract instance: err = %v", err)
+	}
+}
+
+func TestExecuteCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := assign.Execute(ctx,
+		assign.Inputs([][]byte{[]byte("a"), []byte("b")}),
+		assign.Capacity(4),
+		assign.NoCache(),
+		assign.Pair(func(a, b assign.Record, emit func([]byte)) error { return nil }),
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTimeoutOptionStillReturnsBaseline(t *testing.T) {
+	// A 1ns budget drops the slower portfolio members but the baseline is
+	// always awaited, so the plan must still arrive and be valid.
+	sizes := make([]assign.Size, 60)
+	for i := range sizes {
+		sizes[i] = assign.Size(1 + i%4)
+	}
+	res, err := assign.Plan(context.Background(),
+		assign.A2A(sizes),
+		assign.Capacity(20),
+		assign.Timeout(time.Nanosecond),
+		assign.NoCache(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schema.ValidateA2A(assign.MustNewInputSet(sizes)); err != nil {
+		t.Fatalf("schema invalid: %v", err)
+	}
+}

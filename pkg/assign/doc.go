@@ -1,0 +1,52 @@
+// Package assign is the public SDK of the mapping-schema assignment system:
+// a curated facade over the paper's A2A and X2Y planners and the
+// schema-driven MapReduce executor. External Go programs embed the system
+// through this package alone; everything under internal/ is an
+// implementation detail.
+//
+// The two entry points are Plan and Execute, both configured with
+// functional options:
+//
+//	res, err := assign.Plan(ctx,
+//	    assign.A2A([]assign.Size{3, 3, 2, 2, 4, 1}),
+//	    assign.Capacity(10),
+//	    assign.Timeout(500*time.Millisecond))
+//
+// plans a mapping schema for six inputs under reducer capacity 10, racing
+// the paper's constructive algorithms against alternative packing policies,
+// the greedy baseline, and bounded exact search, behind a canonicalization
+// cache. Execute goes one step further and runs the planned schema on the
+// in-memory MapReduce engine, invoking the supplied pair logic exactly once
+// per required pair and auditing the run against the schema:
+//
+//	ex, err := assign.Execute(ctx,
+//	    assign.Inputs(payloads),
+//	    assign.Capacity(1<<20),
+//	    assign.Pair(func(a, b assign.Record, emit func([]byte)) error {
+//	        // compare a.Data and b.Data, emit results
+//	        return nil
+//	    }))
+//
+// Package-level Plan and Execute share one process-wide planner, so
+// isomorphic instances across callers hit a single cache; NewPlanner builds
+// an isolated planner when that sharing is unwanted.
+//
+// For talking to a remote pland service instead of planning in-process, see
+// the pkg/assign/plandclient subpackage.
+//
+// # Compatibility contract
+//
+// Everything exported by pkg/assign and pkg/assign/plandclient is the
+// system's stable surface: the option constructors, the Result, Execution,
+// and Stats shapes, and the re-exported core vocabulary (Size, Problem,
+// MappingSchema, Reducer, Cost, InputSet, and the Err* values). These only
+// change compatibly.
+//
+// Packages under internal/ — the solver implementations, the execution
+// engine, the planner cache — carry no compatibility promise at all: they
+// may change or disappear in any revision. The concrete set of portfolio
+// members (the Winner strings), solver tie-breaking, and therefore the
+// exact schema returned for a given instance are explicitly NOT part of the
+// contract; only validity (capacity respected, every required pair covered)
+// and the reported bounds are.
+package assign

@@ -1,0 +1,104 @@
+package assign
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// Execution is the outcome of one Execute call: the planning result plus the
+// audited run of the planned schema on the MapReduce engine.
+type Execution struct {
+	// Plan is the planning outcome the run was driven by.
+	Plan *Result
+	// Output holds every record the Pair logic emitted, in deterministic
+	// partition order.
+	Output [][]byte
+	// PairsProcessed is how many required pairs the reducers processed; the
+	// conformance audit checks it is exactly the instance's pair count, each
+	// pair at its owning reducer.
+	PairsProcessed int64
+	// Audited reports whether the conformance harness checked the run
+	// (false only under NoAudit).
+	Audited bool
+	// ShuffleRecords and ShuffleBytes describe what crossed the
+	// map-to-reduce boundary; ShuffleBytes is the realized communication
+	// cost.
+	ShuffleRecords int64
+	ShuffleBytes   int64
+	// ReducerLoads holds the shuffle bytes received per reducer, and
+	// MaxReducerLoad the largest entry — the realized parallelism bound.
+	ReducerLoads   []int64
+	MaxReducerLoad int64
+	// Elapsed is the wall-clock time of the whole call (planning plus
+	// execution).
+	Elapsed time.Duration
+}
+
+// Execute plans the instance and runs the planned schema on the in-memory
+// MapReduce engine using the shared process-wide planner: every record is
+// replicated to the reducers its schema assignment names, the Pair logic
+// runs exactly once per required pair at the pair's owning reducer, and the
+// run is audited against the schema unless NoAudit is given. The instance
+// must be concrete (Inputs or XYInputs) and Capacity and Pair are required.
+func Execute(ctx context.Context, opts ...Option) (*Execution, error) {
+	return Default.Execute(ctx, opts...)
+}
+
+// Execute plans and runs on this planner. See the package-level Execute.
+func (pl *Planner) Execute(ctx context.Context, opts ...Option) (*Execution, error) {
+	start := time.Now()
+	r, err := build(opts)
+	if err != nil {
+		return nil, err
+	}
+	if r.pair == nil {
+		return nil, ErrNoPair
+	}
+	if !r.hasData {
+		return nil, fmt.Errorf("assign: Execute needs concrete payloads (use Inputs or XYInputs, not A2A/X2Y sizes)")
+	}
+	preq, err := r.plannerRequest()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := pl.plan(ctx, preq)
+	if err != nil {
+		return nil, err
+	}
+	// The engine run has no internal cancellation points; at least don't
+	// start it for a caller whose context the planning step already outlived.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	name := r.name
+	if name == "" {
+		name = "assign-execute"
+	}
+	res, err := exec.Run(exec.Request{
+		Name:    name,
+		Schema:  plan.Schema,
+		Inputs:  r.data,
+		XInputs: r.xData,
+		YInputs: r.yData,
+		Pair:    r.pair,
+		Workers: r.workers,
+		NoAudit: r.noAudit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{
+		Plan:           plan,
+		Output:         res.Output,
+		PairsProcessed: res.PairsProcessed,
+		Audited:        res.Audited,
+		ShuffleRecords: res.Counters.ShuffleRecords,
+		ShuffleBytes:   res.Counters.ShuffleBytes,
+		ReducerLoads:   res.Counters.ReducerLoads,
+		MaxReducerLoad: res.Counters.MaxReducerLoad,
+		Elapsed:        time.Since(start),
+	}, nil
+}

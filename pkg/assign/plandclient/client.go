@@ -1,0 +1,399 @@
+// Package plandclient is the Go client of the pland HTTP service: the
+// synchronous v1 endpoints (Plan, Execute) and the asynchronous v2 job API
+// (SubmitPlan, SubmitExecute, GetJob, CancelJob, and the WaitJob polling
+// helper). It is part of the public SDK surface; see pkg/assign for the
+// compatibility contract.
+package plandclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/pkg/assign"
+)
+
+// Client talks to one pland server. The zero value is not usable; use New.
+// Clients are safe for concurrent use.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithHTTPClient uses c instead of a default client with a 30s overall
+// timeout. Pass a client without timeout when long synchronous solves (or
+// slow WaitJob polls) must not be cut off mid-request.
+func WithHTTPClient(c *http.Client) Option {
+	return func(cl *Client) { cl.httpc = c }
+}
+
+// New builds a client for the pland server at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		httpc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a pland error envelope: a stable machine-readable Code, a
+// human Message, and the HTTP status it arrived with.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	if e.StatusCode == 0 { // e.g. an error carried inside a job body, not a response status
+		return fmt.Sprintf("pland: %s (%s)", e.Message, e.Code)
+	}
+	return fmt.Sprintf("pland: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+}
+
+// Error codes the server emits; compare against APIError.Code.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeNotFound         = "not_found"
+	CodeConflict         = "conflict"
+	CodeQueueFull        = "queue_full"
+	CodeUnprocessable    = "unprocessable"
+	CodePlanTimeout      = "plan_timeout"
+	CodeCanceled         = "canceled"
+	CodeShuttingDown     = "shutting_down"
+	CodeInternal         = "internal"
+)
+
+// PlanRequest is the body of POST /v1/plan and of "plan" jobs.
+type PlanRequest struct {
+	// Problem is "A2A" or "X2Y".
+	Problem string `json:"problem"`
+	// Capacity is the reducer capacity q.
+	Capacity assign.Size `json:"capacity"`
+	// Sizes holds the A2A input sizes; XSizes/YSizes the X2Y sides.
+	Sizes  []assign.Size `json:"sizes,omitempty"`
+	XSizes []assign.Size `json:"x_sizes,omitempty"`
+	YSizes []assign.Size `json:"y_sizes,omitempty"`
+	// TimeoutMS overrides the planning budget (capped server-side); negative
+	// requests the deterministic await-all mode.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache skips the server's canonicalization cache.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// PlanResult is the answer of a plan call or a succeeded "plan" job.
+type PlanResult struct {
+	Schema             *assign.MappingSchema `json:"schema"`
+	Reducers           int                   `json:"reducers"`
+	Communication      assign.Size           `json:"communication"`
+	ReplicationRate    float64               `json:"replication_rate"`
+	MaxLoad            assign.Size           `json:"max_load"`
+	Winner             string                `json:"winner"`
+	LowerBoundReducers int                   `json:"lower_bound_reducers"`
+	Gap                int                   `json:"gap"`
+	Candidates         int                   `json:"candidates"`
+	CacheHit           bool                  `json:"cache_hit"`
+	SharedFlight       bool                  `json:"shared_flight"`
+	ElapsedMicros      int64                 `json:"elapsed_us"`
+}
+
+// ExecuteRequest is the body of POST /v1/execute and of "execute" jobs.
+// Input sizes are the payload byte lengths.
+type ExecuteRequest struct {
+	Problem  string      `json:"problem"`
+	Capacity assign.Size `json:"capacity"`
+	Inputs   []string    `json:"inputs,omitempty"`
+	XInputs  []string    `json:"x_inputs,omitempty"`
+	YInputs  []string    `json:"y_inputs,omitempty"`
+	// TimeoutMS and NoCache tune the planning step.
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+	// ReturnPairs includes the processed pair IDs in the result (capped
+	// server-side).
+	ReturnPairs bool `json:"return_pairs,omitempty"`
+}
+
+// ExecuteResult is the answer of an execute call or a succeeded "execute"
+// job.
+type ExecuteResult struct {
+	Schema         *assign.MappingSchema `json:"schema"`
+	Reducers       int                   `json:"reducers"`
+	Winner         string                `json:"winner"`
+	CacheHit       bool                  `json:"cache_hit"`
+	Pairs          int64                 `json:"pairs"`
+	PairIDs        []string              `json:"pair_ids,omitempty"`
+	ShuffleRecords int64                 `json:"shuffle_records"`
+	ShuffleBytes   int64                 `json:"shuffle_bytes"`
+	MaxReducerLoad int64                 `json:"max_reducer_load"`
+	Audited        bool                  `json:"audited"`
+	ElapsedMicros  int64                 `json:"elapsed_us"`
+}
+
+// Job states of the v2 API.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+)
+
+// Job is the v2 view of one asynchronous job.
+type Job struct {
+	ID    string `json:"id"`
+	Type  string `json:"type"`
+	State string `json:"state"`
+	// CreatedAt/StartedAt/FinishedAt stamp the lifecycle; ExpiresAt is when
+	// a finished job's result is evicted server-side.
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ExpiresAt  *time.Time `json:"expires_at,omitempty"`
+	// Result is the raw result payload once State is "succeeded"; decode
+	// with PlanResult or ExecuteResult.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure reason once State is "failed" or "canceled".
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *Job) Terminal() bool {
+	return j.State == StateSucceeded || j.State == StateFailed || j.State == StateCanceled
+}
+
+// Err converts a failed or canceled job's error payload into an *APIError
+// (nil when the job carries no error).
+func (j *Job) Err() error {
+	if j.Error == nil {
+		return nil
+	}
+	return &APIError{Code: j.Error.Code, Message: j.Error.Message}
+}
+
+// PlanResult decodes a succeeded "plan" job's result.
+func (j *Job) PlanResult() (*PlanResult, error) {
+	if j.State != StateSucceeded {
+		return nil, fmt.Errorf("plandclient: job %s is %s, not succeeded", j.ID, j.State)
+	}
+	var out PlanResult
+	if err := json.Unmarshal(j.Result, &out); err != nil {
+		return nil, fmt.Errorf("plandclient: decoding plan result: %w", err)
+	}
+	return &out, nil
+}
+
+// ExecuteResult decodes a succeeded "execute" job's result.
+func (j *Job) ExecuteResult() (*ExecuteResult, error) {
+	if j.State != StateSucceeded {
+		return nil, fmt.Errorf("plandclient: job %s is %s, not succeeded", j.ID, j.State)
+	}
+	var out ExecuteResult
+	if err := json.Unmarshal(j.Result, &out); err != nil {
+		return nil, fmt.Errorf("plandclient: decoding execute result: %w", err)
+	}
+	return &out, nil
+}
+
+// Plan solves synchronously via POST /v1/plan.
+func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResult, error) {
+	var out PlanResult
+	if err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Execute plans and runs synchronously via POST /v1/execute.
+func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResult, error) {
+	var out ExecuteResult
+	if err := c.do(ctx, http.MethodPost, "/v1/execute", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// jobSubmit mirrors the server's POST /v2/jobs body.
+type jobSubmit struct {
+	Type    string          `json:"type"`
+	Plan    *PlanRequest    `json:"plan,omitempty"`
+	Execute *ExecuteRequest `json:"execute,omitempty"`
+}
+
+// SubmitPlan enqueues an asynchronous "plan" job and returns its queued
+// state. A full queue surfaces as an *APIError with CodeQueueFull.
+func (c *Client) SubmitPlan(ctx context.Context, req PlanRequest) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "plan", Plan: &req}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SubmitExecute enqueues an asynchronous "execute" job.
+func (c *Client) SubmitExecute(ctx context.Context, req ExecuteRequest) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "execute", Execute: &req}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetJob polls one job's state via GET /v2/jobs/{id}.
+func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelJob cancels a queued or running job via DELETE /v2/jobs/{id}. A
+// running job reports canceled only once its solver observes the
+// cancellation — follow with WaitJob to see the final state.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var out Job
+	if err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WaitJob polls GET /v2/jobs/{id} every poll interval (default 100ms) until
+// the job reaches a terminal state or ctx ends. The terminal job is
+// returned as-is; inspect State and Err.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		job, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// PlanAsync submits a "plan" job and waits for it, returning the decoded
+// result. A failed or canceled job surfaces as its *APIError.
+func (c *Client) PlanAsync(ctx context.Context, req PlanRequest, poll time.Duration) (*PlanResult, error) {
+	job, err := c.SubmitPlan(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.WaitJob(ctx, job.ID, poll)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != StateSucceeded {
+		if jerr := final.Err(); jerr != nil {
+			return nil, jerr
+		}
+		return nil, fmt.Errorf("plandclient: job %s ended %s", final.ID, final.State)
+	}
+	return final.PlanResult()
+}
+
+// ExecuteAsync submits an "execute" job and waits for its decoded result.
+func (c *Client) ExecuteAsync(ctx context.Context, req ExecuteRequest, poll time.Duration) (*ExecuteResult, error) {
+	job, err := c.SubmitExecute(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.WaitJob(ctx, job.ID, poll)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != StateSucceeded {
+		if jerr := final.Err(); jerr != nil {
+			return nil, jerr
+		}
+		return nil, fmt.Errorf("plandclient: job %s ended %s", final.ID, final.State)
+	}
+	return final.ExecuteResult()
+}
+
+// do performs one round trip: JSON request body (when non-nil), JSON
+// response into out on 2xx, and the server's error envelope as *APIError
+// otherwise.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("plandclient: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("plandclient: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("plandclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeAPIError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("plandclient: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeAPIError parses the unified error envelope; a non-envelope body
+// still yields a usable *APIError with the raw text.
+func decodeAPIError(resp *http.Response) error {
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: err.Error()}
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
+		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal,
+			Message: strings.TrimSpace(string(raw))}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+}
+
+// IsCode reports whether err is an *APIError with the given code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
+}

@@ -1,0 +1,230 @@
+package plandclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/assign"
+)
+
+// stubPland fakes the pland wire contract: /v1/plan answers directly, v2
+// jobs advance queued → running → succeeded one state per poll.
+type stubPland struct {
+	mu    sync.Mutex
+	polls map[string]int
+	fail  map[string]bool
+}
+
+func newStub() *stubPland {
+	return &stubPland{polls: map[string]int{}, fail: map[string]bool{}}
+}
+
+func (s *stubPland) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		var req PlanRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Capacity <= 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":{"code":"bad_request","message":"capacity must be positive"}}`)
+			return
+		}
+		json.NewEncoder(w).Encode(PlanResult{Reducers: 3, Winner: "stub", Candidates: 1})
+	})
+	mux.HandleFunc("/v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Type string       `json:"type"`
+			Plan *PlanRequest `json:"plan"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprint(w, `{"error":{"code":"bad_request","message":"bad body"}}`)
+			return
+		}
+		s.mu.Lock()
+		id := fmt.Sprintf("job-%d", len(s.polls))
+		s.polls[id] = 0
+		if req.Plan != nil && req.Plan.NoCache {
+			s.fail[id] = true // stub convention: no_cache jobs fail
+		}
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Job{ID: id, Type: req.Type, State: StateQueued, CreatedAt: time.Now()})
+	})
+	mux.HandleFunc("/v2/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Path[len("/v2/jobs/"):]
+		s.mu.Lock()
+		polls, ok := s.polls[id]
+		failing := s.fail[id]
+		if ok {
+			s.polls[id]++
+		}
+		s.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such job"}}`)
+			return
+		}
+		if r.Method == http.MethodDelete {
+			json.NewEncoder(w).Encode(Job{ID: id, State: StateCanceled,
+				Error: &struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				}{Code: CodeCanceled, Message: "job canceled"}})
+			return
+		}
+		job := Job{ID: id, Type: "plan"}
+		switch {
+		case polls == 0:
+			job.State = StateQueued
+		case polls == 1:
+			job.State = StateRunning
+		case failing:
+			job.State = StateFailed
+			job.Error = &struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			}{Code: CodePlanTimeout, Message: "budget exhausted"}
+		default:
+			job.State = StateSucceeded
+			job.Result = json.RawMessage(`{"reducers":4,"winner":"stub-async"}`)
+		}
+		json.NewEncoder(w).Encode(job)
+	})
+	return mux
+}
+
+func newStubClient(t *testing.T) (*Client, *stubPland) {
+	t.Helper()
+	stub := newStub()
+	srv := httptest.NewServer(stub.handler())
+	t.Cleanup(srv.Close)
+	return New(srv.URL), stub
+}
+
+func TestPlanSync(t *testing.T) {
+	c, _ := newStubClient(t)
+	res, err := c.Plan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 10, Sizes: []assign.Size{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reducers != 3 || res.Winner != "stub" {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestPlanSyncAPIError(t *testing.T) {
+	c, _ := newStubClient(t)
+	_, err := c.Plan(context.Background(), PlanRequest{Problem: "A2A"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.StatusCode != http.StatusBadRequest || ae.Code != CodeBadRequest {
+		t.Errorf("APIError = %+v", ae)
+	}
+	if !IsCode(err, CodeBadRequest) {
+		t.Error("IsCode(bad_request) = false")
+	}
+}
+
+func TestWaitJobPollsToSuccess(t *testing.T) {
+	c, _ := newStubClient(t)
+	job, err := c.SubmitPlan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateQueued || job.Terminal() {
+		t.Fatalf("submit state = %s", job.State)
+	}
+	final, err := c.WaitJob(context.Background(), job.ID, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateSucceeded {
+		t.Fatalf("final state = %s", final.State)
+	}
+	res, err := final.PlanResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reducers != 4 || res.Winner != "stub-async" {
+		t.Errorf("decoded result = %+v", res)
+	}
+}
+
+func TestPlanAsyncSurfacesJobFailure(t *testing.T) {
+	c, _ := newStubClient(t)
+	// Stub convention: no_cache jobs fail with plan_timeout.
+	_, err := c.PlanAsync(context.Background(), PlanRequest{Problem: "A2A", Capacity: 8, NoCache: true}, time.Millisecond)
+	if !IsCode(err, CodePlanTimeout) {
+		t.Fatalf("err = %v, want plan_timeout APIError", err)
+	}
+}
+
+func TestGetJobNotFound(t *testing.T) {
+	c, _ := newStubClient(t)
+	_, err := c.GetJob(context.Background(), "missing")
+	if !IsCode(err, CodeNotFound) {
+		t.Fatalf("err = %v, want not_found", err)
+	}
+}
+
+func TestCancelJob(t *testing.T) {
+	c, _ := newStubClient(t)
+	job, err := c.SubmitPlan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CancelJob(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCanceled {
+		t.Errorf("state = %s, want canceled", got.State)
+	}
+	if !IsCode(got.Err(), CodeCanceled) {
+		t.Errorf("job err = %v", got.Err())
+	}
+}
+
+func TestWaitJobHonorsContext(t *testing.T) {
+	c, _ := newStubClient(t)
+	job, err := c.SubmitPlan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refetch resets: the stub advances one state per poll, so an immediate
+	// deadline must abort between polls with the last-seen job.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	last, err := c.WaitJob(ctx, job.ID, time.Hour)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if last == nil || last.Terminal() {
+		t.Errorf("last-seen job = %+v", last)
+	}
+}
+
+func TestNonEnvelopeErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text failure", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	_, err := c.Plan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 1})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.StatusCode != http.StatusBadGateway || ae.Message != "plain text failure" {
+		t.Errorf("APIError = %+v", ae)
+	}
+}
