@@ -1,5 +1,5 @@
 // Package repro's root-level benchmarks regenerate every experiment of
-// EXPERIMENTS.md (one benchmark per table/figure, T1..T13) plus
+// EXPERIMENTS.md (one benchmark per table/figure, T1..T15) plus
 // micro-benchmarks of the core algorithms. Run with:
 //
 //	go test -bench=. -benchmem
@@ -71,6 +71,8 @@ func BenchmarkT10BinPackAblation(b *testing.B)      { runExperiment(b, "T10") }
 func BenchmarkT11SpeedupCurves(b *testing.B)        { runExperiment(b, "T11") }
 func BenchmarkT12PruningAblation(b *testing.B)      { runExperiment(b, "T12") }
 func BenchmarkT13MediumInputs(b *testing.B)         { runExperiment(b, "T13") }
+func BenchmarkT14Portfolio(b *testing.B)            { runExperiment(b, "T14") }
+func BenchmarkT15StreamChurn(b *testing.B)          { runExperiment(b, "T15") }
 
 // Micro-benchmarks of the building blocks.
 

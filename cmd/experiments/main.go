@@ -1,6 +1,7 @@
 // Command experiments regenerates the reproduction's tables and figure
-// series (T1..T14, see EXPERIMENTS.md; T14 exercises the public pkg/assign
-// portfolio facade). By default it runs everything at full
+// series (T1..T15, see EXPERIMENTS.md; T14 exercises the public pkg/assign
+// portfolio facade, T15 the internal/stream incremental-maintenance
+// session under churn). By default it runs everything at full
 // scale and prints text tables; use -run to select experiments, -scale to
 // shrink the workloads, and -csv for machine-readable output.
 package main

@@ -19,6 +19,18 @@
 //	                         when the queue is full)
 //	GET    /v2/jobs/{id}     poll job status and, once succeeded, the result
 //	DELETE /v2/jobs/{id}     cancel a queued or running job
+//	POST   /v2/sessions      {"capacity":20,"sizes":[5,3,7]} — open a live
+//	                         session: a continuously-maintained assignment
+//	                         that absorbs add/remove/resize deltas by bounded
+//	                         local repair and replans in the background
+//	GET    /v2/sessions      list live sessions
+//	PATCH  /v2/sessions/{id} {"deltas":[{"op":"add","size":4},
+//	                         {"op":"remove","id":2},
+//	                         {"op":"resize","id":0,"size":9}]} — apply a
+//	                         delta batch; when drift passes the threshold a
+//	                         "rebuild" job is scheduled on the v2 job queue
+//	GET    /v2/sessions/{id} current schema, stable input IDs, drift stats
+//	DELETE /v2/sessions/{id} close the session
 //	GET    /v1/stats         cache, solver-win, and job-queue counters
 //	GET    /healthz          liveness probe
 //
@@ -65,6 +77,8 @@ func main() {
 		resultTTL  = fs.Duration("result-ttl", 15*time.Minute, "how long finished v2 job results are retained for polling")
 		maxJobTO   = fs.Duration("max-job-timeout", 5*time.Minute, "largest planning budget a v2 job may ask for")
 		drain      = fs.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests and jobs")
+		maxSess    = fs.Int("max-sessions", 64, "largest number of live v2 sessions")
+		maxSessIn  = fs.Int("max-session-inputs", 10_000, "largest live input count per session")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -75,15 +89,17 @@ func main() {
 	}
 	pl := assign.NewPlanner(assign.PlannerConfig{CacheEntries: entries})
 	srv := newServer(pl, serverConfig{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		MaxInputs:      *maxInputs,
-		MaxExecInputs:  *maxExec,
-		JobWorkers:     *jobWorkers,
-		QueueDepth:     *queueDepth,
-		ResultTTL:      *resultTTL,
-		MaxJobTimeout:  *maxJobTO,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxInputs:        *maxInputs,
+		MaxExecInputs:    *maxExec,
+		JobWorkers:       *jobWorkers,
+		QueueDepth:       *queueDepth,
+		ResultTTL:        *resultTTL,
+		MaxJobTimeout:    *maxJobTO,
+		MaxSessions:      *maxSess,
+		MaxSessionInputs: *maxSessIn,
 	})
 	log.Printf("pland: listening on %s (cache=%d entries, default budget %v, queue depth %d)",
 		*addr, *cacheSize, *timeout, *queueDepth)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/jobs"
@@ -30,6 +31,10 @@ type serverConfig struct {
 	// MaxJobTimeout caps the planning budget of one async job; it may far
 	// exceed MaxTimeout because nothing blocks on the answer.
 	MaxJobTimeout time.Duration
+	// MaxSessions bounds how many v2 sessions may be live at once, and
+	// MaxSessionInputs bounds the live inputs of each.
+	MaxSessions      int
+	MaxSessionInputs int
 }
 
 // server is the HTTP front end over the assign SDK. It is a plain
@@ -40,6 +45,9 @@ type server struct {
 	cfg     serverConfig
 	mux     *http.ServeMux
 	started time.Time
+
+	sessMu   sync.Mutex
+	sessions map[string]*sessionEntry
 }
 
 func newServer(pl *assign.Planner, cfg serverConfig) *server {
@@ -67,6 +75,12 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 	if cfg.MaxJobTimeout < cfg.MaxTimeout {
 		cfg.MaxJobTimeout = cfg.MaxTimeout
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.MaxSessionInputs <= 0 {
+		cfg.MaxSessionInputs = 10_000
+	}
 	s := &server{
 		planner: pl,
 		jobs: jobs.New(jobs.Config{
@@ -74,15 +88,18 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 			QueueDepth: cfg.QueueDepth,
 			ResultTTL:  cfg.ResultTTL,
 		}),
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		sessions: make(map[string]*sessionEntry),
 	}
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/execute", s.handleExecute)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v2/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v2/jobs/", s.handleJob)
+	s.mux.HandleFunc("/v2/sessions", s.handleSessions)
+	s.mux.HandleFunc("/v2/sessions/", s.handleSession)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, notFound("no such endpoint"))
@@ -92,9 +109,13 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the job queue; in-flight jobs that outlive ctx are marked
-// failed with a shutdown reason.
-func (s *server) Close(ctx context.Context) error { return s.jobs.Shutdown(ctx) }
+// Close drains the job queue — in-flight jobs that outlive ctx are marked
+// failed with a shutdown reason — and then shuts every live session down.
+func (s *server) Close(ctx context.Context) error {
+	err := s.jobs.Shutdown(ctx)
+	s.closeSessions()
+	return err
+}
 
 // Error envelope: every handler failure, v1 and v2, is
 // {"error":{"code":"...","message":"..."}} with a stable machine-readable
@@ -105,6 +126,7 @@ const (
 	codeNotFound         = "not_found"
 	codeConflict         = "conflict"
 	codeQueueFull        = "queue_full"
+	codeSessionLimit     = "session_limit"
 	codeUnprocessable    = "unprocessable"
 	codePlanTimeout      = "plan_timeout"
 	codeCanceled         = "canceled"

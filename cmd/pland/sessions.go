@@ -1,0 +1,394 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/pkg/assign"
+)
+
+// sessionEntry is one live session of the v2 API plus its rebuild-job
+// bookkeeping. entry.mu serializes PATCH batches and rebuild scheduling;
+// the session itself is internally synchronized.
+type sessionEntry struct {
+	id   string
+	sess *assign.Session
+
+	mu         sync.Mutex
+	rebuildJob string // last submitted rebuild job ID, "" when none
+}
+
+// sessionCreateRequest is the JSON body of POST /v2/sessions.
+type sessionCreateRequest struct {
+	// Capacity is the reducer capacity q. Required.
+	Capacity assign.Size `json:"capacity"`
+	// Sizes optionally seeds the session with an initial A2A instance,
+	// planned once through the portfolio before the session goes live.
+	Sizes []assign.Size `json:"sizes,omitempty"`
+	// MigrationBudget, RebuildThreshold, and Headroom tune the maintenance
+	// layer; zero keeps each default (see pkg/assign).
+	MigrationBudget  assign.Size `json:"migration_budget,omitempty"`
+	RebuildThreshold float64     `json:"rebuild_threshold,omitempty"`
+	Headroom         assign.Size `json:"headroom,omitempty"`
+	// TimeoutMS and NoCache shape the session's replans exactly as in
+	// /v1/plan; a negative TimeoutMS requests deterministic await-all mode.
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+}
+
+// sessionDelta is one delta of a PATCH batch.
+type sessionDelta struct {
+	// Op is "add", "remove", or "resize".
+	Op string `json:"op"`
+	// Size is the input size for "add" and the new size for "resize".
+	Size assign.Size `json:"size,omitempty"`
+	// ID addresses the input for "remove" and "resize".
+	ID *int `json:"id,omitempty"`
+}
+
+// sessionPatchRequest is the JSON body of PATCH /v2/sessions/{id}.
+type sessionPatchRequest struct {
+	Deltas []sessionDelta `json:"deltas"`
+}
+
+// sessionDeltaResult reports one applied (or failed) delta.
+type sessionDeltaResult struct {
+	assign.DeltaReport
+	Error *apiError `json:"error,omitempty"`
+}
+
+// sessionPatchResponse is the answer of a PATCH: per-delta results in order
+// (processing stops at the first failure), the session's stats afterwards,
+// and the rebuild job this batch scheduled, if any.
+type sessionPatchResponse struct {
+	Applied      int                  `json:"applied"`
+	Results      []sessionDeltaResult `json:"results"`
+	Stats        assign.SessionStats  `json:"stats"`
+	RebuildJobID string               `json:"rebuild_job_id,omitempty"`
+}
+
+// sessionResponse is the JSON view of one session.
+type sessionResponse struct {
+	ID    string              `json:"id"`
+	Stats assign.SessionStats `json:"stats"`
+	// Schema, IDs, and Sizes are the consistent snapshot (GET and create
+	// only). IDs maps the schema's dense input indexes to the session's
+	// stable input IDs.
+	Schema *assign.MappingSchema `json:"schema,omitempty"`
+	IDs    []int                 `json:"ids,omitempty"`
+	Sizes  []assign.Size         `json:"sizes,omitempty"`
+	// RebuildJobID is the in-flight or last-submitted rebuild job; poll it
+	// via GET /v2/jobs/{id}.
+	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+}
+
+// sessionListResponse is the answer of GET /v2/sessions.
+type sessionListResponse struct {
+	Sessions []sessionResponse `json:"sessions"`
+	Count    int               `json:"count"`
+	Limit    int               `json:"limit"`
+}
+
+// newSessionID returns a 8-byte random hex session ID.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("pland: reading random session ID: %v", err))
+	}
+	return "s-" + hex.EncodeToString(b[:])
+}
+
+// handleSessions serves POST (create) and GET (list) /v2/sessions.
+func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.createSession(w, r)
+	case http.MethodGet:
+		s.listSessions(w)
+	default:
+		writeAPIError(w, methodNotAllowed("POST or GET"))
+	}
+}
+
+func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	var body sessionCreateRequest
+	if aerr := s.decodeBody(w, r, &body); aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	if body.Capacity <= 0 {
+		writeAPIError(w, badRequestf("capacity must be positive, got %d", body.Capacity))
+		return
+	}
+	if len(body.Sizes) > s.cfg.MaxSessionInputs {
+		writeAPIError(w, badRequestf("initial instance has %d inputs, session limit is %d",
+			len(body.Sizes), s.cfg.MaxSessionInputs))
+		return
+	}
+	if len(body.Sizes) > 0 {
+		if aerr := validSizes("sizes", body.Sizes); aerr != nil {
+			writeAPIError(w, aerr)
+			return
+		}
+	}
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sessMu.Unlock()
+		writeAPIError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeSessionLimit,
+			Message: fmt.Sprintf("session limit (%d) reached; DELETE one first", s.cfg.MaxSessions)})
+		return
+	}
+	s.sessMu.Unlock()
+
+	opts := []assign.Option{
+		assign.Capacity(body.Capacity),
+		assign.ManualRebuild(), // rebuilds run on the shared job queue
+		assign.MigrationBudget(body.MigrationBudget),
+		assign.RebuildThreshold(body.RebuildThreshold),
+		assign.Headroom(body.Headroom),
+		assign.Timeout(requestBudget(body.TimeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxJobTimeout)),
+	}
+	if len(body.Sizes) > 0 {
+		opts = append(opts, assign.A2A(body.Sizes))
+	}
+	if body.NoCache {
+		opts = append(opts, assign.NoCache())
+	}
+	// The initial plan runs synchronously under the request budget.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
+	defer cancel()
+	sess, err := s.planner.NewSession(ctx, opts...)
+	if err != nil {
+		writeAPIError(w, planError(err))
+		return
+	}
+
+	entry := &sessionEntry{id: newSessionID(), sess: sess}
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions { // re-check: creations may race
+		s.sessMu.Unlock()
+		sess.Close()
+		writeAPIError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeSessionLimit,
+			Message: fmt.Sprintf("session limit (%d) reached; DELETE one first", s.cfg.MaxSessions)})
+		return
+	}
+	s.sessions[entry.id] = entry
+	s.sessMu.Unlock()
+	writeJSON(w, http.StatusCreated, s.sessionView(entry, true))
+}
+
+func (s *server) listSessions(w http.ResponseWriter) {
+	s.sessMu.Lock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	limit := s.cfg.MaxSessions
+	s.sessMu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	resp := sessionListResponse{Sessions: make([]sessionResponse, 0, len(entries)), Count: len(entries), Limit: limit}
+	for _, e := range entries {
+		resp.Sessions = append(resp.Sessions, sessionResponse{ID: e.id, Stats: e.sess.Stats(), RebuildJobID: s.activeRebuild(e)})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSession serves GET, PATCH, and DELETE /v2/sessions/{id}.
+func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v2/sessions/")
+	if id == "" || strings.Contains(id, "/") {
+		writeAPIError(w, notFound("no such session"))
+		return
+	}
+	s.sessMu.Lock()
+	entry := s.sessions[id]
+	s.sessMu.Unlock()
+	if entry == nil {
+		writeAPIError(w, notFound("no such session"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.sessionView(entry, true))
+	case http.MethodPatch:
+		s.patchSession(w, r, entry)
+	case http.MethodDelete:
+		s.sessMu.Lock()
+		delete(s.sessions, id)
+		s.sessMu.Unlock()
+		stats := entry.sess.Stats()
+		s.cancelRebuild(entry) // don't leave a zombie solve on the job queue
+		entry.sess.Close()
+		writeJSON(w, http.StatusOK, sessionResponse{ID: entry.id, Stats: stats})
+	default:
+		writeAPIError(w, methodNotAllowed("GET, PATCH, or DELETE"))
+	}
+}
+
+// patchSession applies a delta batch in order, stopping at the first
+// failure, then schedules a background rebuild on the job queue when the
+// batch pushed drift past the threshold.
+func (s *server) patchSession(w http.ResponseWriter, r *http.Request, entry *sessionEntry) {
+	var body sessionPatchRequest
+	if aerr := s.decodeBody(w, r, &body); aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	if len(body.Deltas) == 0 {
+		writeAPIError(w, badRequestf("no deltas in batch"))
+		return
+	}
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	resp := sessionPatchResponse{Results: make([]sessionDeltaResult, 0, len(body.Deltas))}
+	for i, d := range body.Deltas {
+		var (
+			rep assign.DeltaReport
+			err error
+		)
+		switch d.Op {
+		case "add":
+			if entry.sess.Len() >= s.cfg.MaxSessionInputs {
+				err = fmt.Errorf("session holds %d inputs, limit is %d", entry.sess.Len(), s.cfg.MaxSessionInputs)
+			} else {
+				_, rep, err = entry.sess.Add(d.Size)
+			}
+		case "remove":
+			if d.ID == nil {
+				err = errors.New(`"remove" needs an "id"`)
+			} else {
+				rep, err = entry.sess.Remove(*d.ID)
+			}
+		case "resize":
+			if d.ID == nil {
+				err = errors.New(`"resize" needs an "id"`)
+			} else {
+				rep, err = entry.sess.Resize(*d.ID, d.Size)
+			}
+		default:
+			err = fmt.Errorf(`delta %d: op must be "add", "remove", or "resize", got %q`, i, d.Op)
+		}
+		if err != nil {
+			resp.Results = append(resp.Results, sessionDeltaResult{Error: deltaError(err)})
+			break
+		}
+		resp.Applied++
+		resp.Results = append(resp.Results, sessionDeltaResult{DeltaReport: rep})
+	}
+	resp.RebuildJobID = s.maybeScheduleRebuild(entry)
+	resp.Stats = entry.sess.Stats()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// deltaError classifies a per-delta failure into the stable envelope codes.
+func deltaError(err error) *apiError {
+	switch {
+	case errors.Is(err, assign.ErrUnknownID):
+		return &apiError{Status: http.StatusNotFound, Code: codeNotFound, Message: err.Error(), cause: err}
+	case errors.Is(err, assign.ErrSessionClosed):
+		return &apiError{Status: http.StatusConflict, Code: codeConflict, Message: err.Error(), cause: err}
+	default:
+		return &apiError{Status: http.StatusUnprocessableEntity, Code: codeUnprocessable, Message: err.Error(), cause: err}
+	}
+}
+
+// activeRebuild returns the entry's rebuild job ID while it is queued or
+// running, clearing the bookkeeping once the job finished or expired.
+func (s *server) activeRebuild(entry *sessionEntry) string {
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	return s.activeRebuildLocked(entry)
+}
+
+func (s *server) activeRebuildLocked(entry *sessionEntry) string {
+	if entry.rebuildJob == "" {
+		return ""
+	}
+	snap, err := s.jobs.Get(entry.rebuildJob)
+	if err != nil || snap.State.Terminal() {
+		entry.rebuildJob = ""
+		return ""
+	}
+	return entry.rebuildJob
+}
+
+// maybeScheduleRebuild submits a "rebuild" job for the session when drift
+// passed the threshold and no rebuild is already queued or running. The
+// caller holds entry.mu via patchSession; list/GET paths go through
+// activeRebuild instead.
+func (s *server) maybeScheduleRebuild(entry *sessionEntry) string {
+	if id := s.activeRebuildLocked(entry); id != "" {
+		return id
+	}
+	if !entry.sess.NeedsRebuild() {
+		return ""
+	}
+	sess := entry.sess
+	snap, err := s.jobs.Submit("rebuild", func(ctx context.Context) (any, error) {
+		jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
+		defer cancel()
+		rep, err := sess.Rebuild(jctx)
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	})
+	if err != nil {
+		// A full queue is not an error for the batch itself: the rebuild is
+		// retried on a later PATCH.
+		return ""
+	}
+	entry.rebuildJob = snap.ID
+	return snap.ID
+}
+
+// sessionView renders a session, optionally with its schema snapshot.
+func (s *server) sessionView(entry *sessionEntry, withSchema bool) sessionResponse {
+	resp := sessionResponse{ID: entry.id, RebuildJobID: s.activeRebuild(entry)}
+	if withSchema {
+		snap := entry.sess.Snapshot()
+		resp.Stats = snap.Stats
+		resp.Schema = snap.Schema
+		resp.IDs = snap.IDs
+		resp.Sizes = snap.Sizes
+	} else {
+		resp.Stats = entry.sess.Stats()
+	}
+	return resp
+}
+
+// cancelRebuild cancels the session's in-flight rebuild job, if any, so a
+// deleted session's solve does not keep occupying a job worker until its
+// own timeout. Best-effort: a job that already finished returns an error
+// Cancel callers here can ignore.
+func (s *server) cancelRebuild(entry *sessionEntry) {
+	entry.mu.Lock()
+	id := entry.rebuildJob
+	entry.rebuildJob = ""
+	entry.mu.Unlock()
+	if id != "" {
+		_, _ = s.jobs.Cancel(id)
+	}
+}
+
+// closeSessions shuts every session down; used by the server drain.
+func (s *server) closeSessions() {
+	s.sessMu.Lock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for id, e := range s.sessions {
+		entries = append(entries, e)
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	for _, e := range entries {
+		s.cancelRebuild(e)
+		e.sess.Close()
+	}
+}

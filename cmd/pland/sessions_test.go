@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/pkg/assign"
+	"repro/pkg/assign/plandclient"
+)
+
+func newSessionTestServer(t *testing.T, cfg serverConfig) *plandclient.Client {
+	t.Helper()
+	s := newServer(assign.NewPlanner(assign.PlannerConfig{}), cfg)
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+	return plandclient.New(srv.URL)
+}
+
+// validateSessionSchema checks a fetched session's schema with the core
+// validator, exactly as an embedding client could.
+func validateSessionSchema(t *testing.T, sess *plandclient.Session) {
+	t.Helper()
+	if len(sess.IDs) == 0 {
+		return
+	}
+	set, err := assign.NewInputSet(sess.Sizes)
+	if err != nil {
+		t.Fatalf("session sizes: %v", err)
+	}
+	if err := sess.Schema.ValidateA2A(set); err != nil {
+		t.Fatalf("session schema invalid: %v", err)
+	}
+}
+
+func TestSessionLifecycleHTTP(t *testing.T) {
+	c := newSessionTestServer(t, serverConfig{})
+	ctx := context.Background()
+
+	sess, err := c.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 20, Sizes: []assign.Size{5, 3, 7, 2, 6}, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if sess.ID == "" || sess.Stats.Inputs != 5 || sess.Schema == nil {
+		t.Fatalf("created session = %+v", sess)
+	}
+	validateSessionSchema(t, sess)
+
+	patch, err := c.UpdateSession(ctx, sess.ID,
+		plandclient.AddDelta(4),
+		plandclient.RemoveDelta(1),
+		plandclient.ResizeDelta(0, 9),
+	)
+	if err != nil {
+		t.Fatalf("UpdateSession: %v", err)
+	}
+	if patch.Applied != 3 {
+		t.Fatalf("patch = %+v", patch)
+	}
+	if patch.Results[0].ID != 5 { // the add's new stable ID
+		t.Fatalf("add delta result = %+v", patch.Results[0])
+	}
+	if patch.Stats.Inputs != 5 || patch.Stats.Adds != 1 || patch.Stats.Removes != 1 || patch.Stats.Resizes != 1 {
+		t.Fatalf("stats after patch = %+v", patch.Stats)
+	}
+
+	got, err := c.GetSession(ctx, sess.ID)
+	if err != nil {
+		t.Fatalf("GetSession: %v", err)
+	}
+	validateSessionSchema(t, got)
+
+	list, err := c.ListSessions(ctx)
+	if err != nil || list.Count != 1 {
+		t.Fatalf("ListSessions = %+v, %v", list, err)
+	}
+	if _, err := c.DeleteSession(ctx, sess.ID); err != nil {
+		t.Fatalf("DeleteSession: %v", err)
+	}
+	if _, err := c.GetSession(ctx, sess.ID); !plandclient.IsCode(err, plandclient.CodeNotFound) {
+		t.Fatalf("GetSession after delete: %v", err)
+	}
+}
+
+// TestSessionRebuildOnJobQueue churns a session past its drift threshold and
+// follows the scheduled rebuild through the shared v2 job queue.
+func TestSessionRebuildOnJobQueue(t *testing.T) {
+	c := newSessionTestServer(t, serverConfig{})
+	ctx := context.Background()
+
+	sess, err := c.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 20, Sizes: []assign.Size{5, 5, 5, 5, 5, 5},
+		RebuildThreshold: 0.05, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	var jobID string
+	next := 6
+	for i := 0; i < 60 && jobID == ""; i++ {
+		patch, err := c.UpdateSession(ctx, sess.ID,
+			plandclient.RemoveDelta(next-6), plandclient.AddDelta(5))
+		if err != nil {
+			t.Fatalf("UpdateSession: %v", err)
+		}
+		if patch.Applied != 2 {
+			t.Fatalf("patch = %+v", patch)
+		}
+		next++
+		jobID = patch.RebuildJobID
+	}
+	if jobID == "" {
+		t.Fatal("churn never scheduled a rebuild job")
+	}
+	final, err := c.WaitJob(ctx, jobID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob(rebuild): %v", err)
+	}
+	if final.State != plandclient.StateSucceeded {
+		t.Fatalf("rebuild job ended %s (err %v)", final.State, final.Err())
+	}
+	got, err := c.GetSession(ctx, sess.ID)
+	if err != nil {
+		t.Fatalf("GetSession: %v", err)
+	}
+	if got.Stats.Rebuilds == 0 {
+		t.Fatalf("session never rebuilt: %+v", got.Stats)
+	}
+	validateSessionSchema(t, got)
+}
+
+func TestSessionErrorPaths(t *testing.T) {
+	c := newSessionTestServer(t, serverConfig{MaxSessions: 1})
+	ctx := context.Background()
+
+	if _, err := c.CreateSession(ctx, plandclient.SessionCreateRequest{Capacity: 0}); !plandclient.IsCode(err, plandclient.CodeBadRequest) {
+		t.Fatalf("zero capacity: %v", err)
+	}
+	if _, err := c.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 10, Sizes: []assign.Size{8, 8},
+	}); !plandclient.IsCode(err, plandclient.CodeUnprocessable) {
+		t.Fatalf("infeasible initial instance: %v", err)
+	}
+
+	sess, err := c.CreateSession(ctx, plandclient.SessionCreateRequest{Capacity: 10, Sizes: []assign.Size{6, 3}})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if _, err := c.CreateSession(ctx, plandclient.SessionCreateRequest{Capacity: 10}); !plandclient.IsCode(err, plandclient.CodeSessionLimit) {
+		t.Fatalf("session limit: %v", err)
+	}
+
+	// A mid-batch failure stops the batch and reports per-delta errors.
+	patch, err := c.UpdateSession(ctx, sess.ID,
+		plandclient.AddDelta(1),
+		plandclient.RemoveDelta(99),
+		plandclient.AddDelta(1),
+	)
+	if err != nil {
+		t.Fatalf("UpdateSession: %v", err)
+	}
+	if patch.Applied != 1 || len(patch.Results) != 2 {
+		t.Fatalf("patch = %+v", patch)
+	}
+	if derr := patch.Results[1].Err(); !plandclient.IsCode(derr, plandclient.CodeNotFound) {
+		t.Fatalf("unknown-id delta error = %v", derr)
+	}
+	// An infeasible add surfaces as unprocessable (6+5 > 10).
+	patch, err = c.UpdateSession(ctx, sess.ID, plandclient.AddDelta(5))
+	if err != nil {
+		t.Fatalf("UpdateSession: %v", err)
+	}
+	if derr := patch.Results[0].Err(); !plandclient.IsCode(derr, plandclient.CodeUnprocessable) {
+		t.Fatalf("infeasible delta error = %v", derr)
+	}
+
+	if _, err := c.UpdateSession(ctx, "nope", plandclient.AddDelta(1)); !plandclient.IsCode(err, plandclient.CodeNotFound) {
+		t.Fatalf("patch unknown session: %v", err)
+	}
+	if _, err := c.DeleteSession(ctx, "nope"); !plandclient.IsCode(err, plandclient.CodeNotFound) {
+		t.Fatalf("delete unknown session: %v", err)
+	}
+}

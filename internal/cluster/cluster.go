@@ -123,6 +123,46 @@ func SpeedupCurve(ms *core.MappingSchema, workersList []int, model CostModel) ([
 	return out, nil
 }
 
+// Comparison relates two schemas' simulated schedules on the same worker
+// pool and cost model. The canonical use is pricing a stream rebuild: the
+// schema before the swap against the schema after it, so the parallelism
+// impact of staying incremental versus replanning can be reported next to
+// the migration cost.
+type Comparison struct {
+	// Before and After are the two simulated schedules.
+	Before, After *Schedule
+	// MakespanRatio is Before.Makespan / After.Makespan: above 1 the after
+	// schema finishes the reduce phase sooner, below 1 it finishes later.
+	MakespanRatio float64
+	// SpeedupGain is After.Speedup - Before.Speedup.
+	SpeedupGain float64
+	// UtilisationGain is After.Utilisation - Before.Utilisation.
+	UtilisationGain float64
+}
+
+// CompareMakespan simulates both schemas on the given number of workers
+// under the cost model and relates the two schedules.
+func CompareMakespan(before, after *core.MappingSchema, workers int, model CostModel) (*Comparison, error) {
+	b, err := Simulate(before, workers, model)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: before schema: %w", err)
+	}
+	a, err := Simulate(after, workers, model)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: after schema: %w", err)
+	}
+	c := &Comparison{
+		Before:          b,
+		After:           a,
+		SpeedupGain:     a.Speedup - b.Speedup,
+		UtilisationGain: a.Utilisation - b.Utilisation,
+	}
+	if a.Makespan > 0 {
+		c.MakespanRatio = b.Makespan / a.Makespan
+	}
+	return c, nil
+}
+
 // MaxUsefulWorkers returns the smallest worker count beyond which the
 // makespan cannot improve: the number of reduce tasks (with fewer tasks than
 // workers some workers idle), or 1 for an empty schema.

@@ -192,3 +192,33 @@ func TestSimulateOnRealSchemas(t *testing.T) {
 		t.Errorf("smaller capacity should allow more useful workers")
 	}
 }
+
+func TestCompareMakespan(t *testing.T) {
+	// One fat reducer against the same load split four ways: the split
+	// schema must finish sooner on a multi-worker pool.
+	fat := &core.MappingSchema{Capacity: 400, Reducers: []core.Reducer{{Load: 400}}}
+	split := &core.MappingSchema{Capacity: 400, Reducers: []core.Reducer{
+		{Load: 100}, {Load: 100}, {Load: 100}, {Load: 100},
+	}}
+	cmp, err := CompareMakespan(fat, split, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.MakespanRatio <= 1 {
+		t.Errorf("splitting the load should cut the makespan: ratio = %v", cmp.MakespanRatio)
+	}
+	if cmp.SpeedupGain <= 0 || cmp.UtilisationGain <= 0 {
+		t.Errorf("split schema should gain speedup and utilisation: %+v", cmp)
+	}
+	// Identical schemas compare even.
+	same, err := CompareMakespan(split, split, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.MakespanRatio != 1 || same.SpeedupGain != 0 {
+		t.Errorf("identical schemas should compare even: %+v", same)
+	}
+	if _, err := CompareMakespan(fat, split, 0, DefaultCostModel()); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

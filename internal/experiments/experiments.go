@@ -110,5 +110,6 @@ func All() []Experiment {
 		{"T12", "Redundancy-pruning ablation on top of each algorithm", T12PruningAblation},
 		{"T13", "Medium-sized inputs: Steiner-triple cover vs pair-per-reducer", T13MediumInputs},
 		{"T14", "Portfolio planner (pkg/assign) vs baseline constructive dispatch", T14Portfolio},
+		{"T15", "Incremental stream session vs full replan per delta under churn", T15StreamChurn},
 	}
 }

@@ -44,8 +44,8 @@ func TestAllHasUniqueIDs(t *testing.T) {
 			t.Errorf("experiment %s is incomplete", exp.ID)
 		}
 	}
-	if len(seen) != 14 {
-		t.Errorf("expected 14 experiments, got %d", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(seen))
 	}
 }
 

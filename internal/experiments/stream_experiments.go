@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/a2a"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// T15StreamChurn quantifies the online-maintenance tradeoff: one churn trace
+// (adds, removals, resizes over an initially-planned A2A instance) is played
+// twice — through an incremental stream.Session paying bounded local repair
+// per delta plus the occasional threshold-triggered rebuild, and through a
+// full constructive re-solve after every delta, the only alternative the
+// offline toolchain offers. The table tracks, at checkpoints, the reducer
+// counts, the cumulative bytes each lane shipped (for the full-replan lane:
+// the schema-to-schema migration cost of every swap), the rebuilds the
+// session actually needed, the reduce-phase makespan of the incremental
+// schema relative to the fresh one (above 1 means the maintained schema is
+// slower), and the running cost per delta.
+func T15StreamChurn(p Params) (*report.Table, error) {
+	p = p.normalize()
+	m := p.scaled(120, 16)
+	steps := p.scaled(400, 40)
+	sizeSpec := workload.SizeSpec{Dist: workload.Uniform, Min: 1, Max: 32}
+	sizes, err := workload.Sizes(sizeSpec, m, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	set, err := core.NewInputSet(sizes)
+	if err != nil {
+		return nil, err
+	}
+	q := set.MaxSize() * 8
+	trace, err := workload.Churn(workload.ChurnSpec{Initial: m, Steps: steps, Sizes: sizeSpec}, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	replan := func(_ context.Context, sz []core.Size, cap core.Size) (*core.MappingSchema, error) {
+		s, err := core.NewInputSet(sz)
+		if err != nil {
+			return nil, err
+		}
+		return a2a.Solve(s, cap)
+	}
+	sess, err := stream.NewSession(context.Background(), stream.Config{
+		Capacity: q,
+		Replan:   replan,
+		Initial:  sizes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	// The full-replan lane keeps its own live set and re-solves per delta.
+	full := make(map[int]core.Size, m)
+	var fullIDs []int
+	for i, w := range sizes {
+		full[i] = w
+		fullIDs = append(fullIDs, i)
+	}
+	sizeOf := func(id int) core.Size { return full[id] }
+	fullSchema, err := replan(context.Background(), sizes, q)
+	if err != nil {
+		return nil, err
+	}
+	var fullMoved core.Size
+	var incElapsed, fullElapsed time.Duration
+
+	tbl := report.NewTable(
+		fmt.Sprintf("T15  Incremental session vs full replan per delta, A2A uniform sizes, m0=%d q=%d", m, q),
+		"step", "live", "inc_red", "full_red", "inc_moved", "full_moved", "rebuilds", "mksp_inc/full", "inc_us", "full_us")
+
+	checkpoint := steps / 5
+	if checkpoint == 0 {
+		checkpoint = 1
+	}
+	for i, ev := range trace {
+		// Incremental lane: one local repair, plus a rebuild when drift asks.
+		start := time.Now()
+		switch ev.Op {
+		case workload.OpAdd:
+			_, _, err = sess.Add(ev.Size)
+		case workload.OpRemove:
+			_, err = sess.Remove(ev.ID)
+		case workload.OpResize:
+			_, err = sess.Resize(ev.ID, ev.Size)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("T15: incremental %v(%d): %w", ev.Op, ev.ID, err)
+		}
+		if sess.NeedsRebuild() {
+			if _, err := sess.Rebuild(context.Background()); err != nil {
+				return nil, fmt.Errorf("T15: rebuild: %w", err)
+			}
+		}
+		incElapsed += time.Since(start)
+
+		// Full-replan lane: mutate the live set, re-solve, price the swap.
+		start = time.Now()
+		prevIDs := append([]int(nil), fullIDs...)
+		switch ev.Op {
+		case workload.OpAdd:
+			full[ev.ID] = ev.Size
+			fullIDs = append(fullIDs, ev.ID)
+		case workload.OpRemove:
+			delete(full, ev.ID)
+			for k, id := range fullIDs {
+				if id == ev.ID {
+					fullIDs = append(fullIDs[:k], fullIDs[k+1:]...)
+					break
+				}
+			}
+		case workload.OpResize:
+			full[ev.ID] = ev.Size
+		}
+		liveSizes := make([]core.Size, len(fullIDs))
+		for k, id := range fullIDs {
+			liveSizes[k] = full[id]
+		}
+		next, err := replan(context.Background(), liveSizes, q)
+		if err != nil {
+			return nil, fmt.Errorf("T15: full replan: %w", err)
+		}
+		fullMoved += stream.MigrationCost(fullSchema, next, prevIDs, fullIDs, sizeOf)
+		fullSchema = next
+		fullElapsed += time.Since(start)
+
+		if (i+1)%checkpoint == 0 || i == len(trace)-1 {
+			snap := sess.Snapshot()
+			cmp, err := cluster.CompareMakespan(fullSchema, snap.Schema, p.Workers, cluster.DefaultCostModel())
+			if err != nil {
+				return nil, err
+			}
+			ratio := 0.0
+			if cmp.MakespanRatio > 0 {
+				// CompareMakespan gives full/inc; report inc/full.
+				ratio = 1 / cmp.MakespanRatio
+			}
+			tbl.AddRow(i+1, snap.Stats.Inputs, snap.Stats.Reducers, len(fullSchema.Reducers),
+				snap.Stats.MovedBytes, fullMoved, snap.Stats.Rebuilds, ratio,
+				incElapsed.Microseconds()/int64(i+1), fullElapsed.Microseconds()/int64(i+1))
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,60 @@
+// Package stream maintains a live mapping schema under churn: inputs arrive,
+// grow, shrink, and depart after the plan is made, and a Session keeps the
+// paper's invariants standing the whole time without a full re-solve plus
+// full re-shuffle per delta.
+//
+// # The maintenance problem
+//
+// The offline problem (internal/planner) is: sizes in, mapping schema out.
+// The online problem this package solves is: given a valid A2A schema and a
+// delta — Add(size), Remove(id), Resize(id, newSize) — produce a valid
+// schema again while moving as few bytes as possible. A Session therefore
+// has two repair tiers:
+//
+//   - Local repair, applied synchronously to every delta. An added input is
+//     placed into existing reducer slack by a greedy set cover (join the
+//     reducers that cover the most still-uncovered co-inputs); whatever
+//     remains uncovered is packed with the new input into fresh reducers.
+//     A removal deletes the input everywhere and, within the migration
+//     budget, merges small reducers back together. A resize that overflows
+//     a reducer evicts the resized input from exactly the overflowing
+//     reducers and re-covers the pairs that eviction lost.
+//
+//   - Full rebuild, triggered in the background once cumulative drift
+//     exceeds the configured threshold. The session snapshots the live
+//     sizes, calls the configured ReplanFunc (the portfolio planner, in
+//     production wiring) outside the lock, then atomically swaps the new
+//     schema in, reconciling any deltas that raced the solve: inputs
+//     removed meanwhile are stripped, inputs added or evicted meanwhile are
+//     re-covered through the local-repair path, and the swap reports its
+//     migration cost (greedy max-byte-overlap matching of old and new
+//     reducers; only bytes not already in place count as moved).
+//
+// # Invariants
+//
+// After every delta and after every swap, the session's schema satisfies
+// the paper's correctness conditions, machine-checkable with exec.Auditor:
+//
+//   - every required pair of live inputs shares at least one reducer (and
+//     therefore has a unique owning reducer for exactly-once execution);
+//   - every reducer load is at most the capacity q.
+//
+// Deltas that would make the instance infeasible — an input larger than q,
+// or two live inputs that cannot fit together in any reducer — are rejected
+// without mutating the session.
+//
+// # Migration budget and drift
+//
+// Mandatory repair work (restoring coverage) is always performed, whatever
+// it costs; a delta whose mandatory movement exceeds MigrationBudget is
+// flagged OverBudget in its DeltaReport rather than refused. The budget
+// strictly bounds only opportunistic movement: reducer-merge compaction
+// after removals. Drift accumulates the bytes of existing inputs re-shipped
+// by repairs plus the bytes freed by removals and shrinks, normalized by
+// the live bytes; when the ratio passes RebuildThreshold the session
+// requests a rebuild (automatically when AutoRebuild is set, otherwise via
+// NeedsRebuild/Rebuild so callers can schedule it on their own pool).
+//
+// Sessions are safe for concurrent use; every public method takes the
+// session lock, and a rebuild holds it only to snapshot and to swap.
+package stream

@@ -1,0 +1,300 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RebuildReport prices one full rebuild: the replan itself plus the atomic
+// swap that installed it.
+type RebuildReport struct {
+	// PlannedInputs is how many inputs the snapshot handed to the replanner;
+	// RepairedInputs is how many needed local repair at swap time because
+	// they were added, resized past a reducer, or evicted while the solve
+	// ran.
+	PlannedInputs  int `json:"planned_inputs"`
+	RepairedInputs int `json:"repaired_inputs"`
+	// ReducersBefore/After and MaxLoadBefore/After compare the schemas
+	// around the swap.
+	ReducersBefore int       `json:"reducers_before"`
+	ReducersAfter  int       `json:"reducers_after"`
+	MaxLoadBefore  core.Size `json:"max_load_before"`
+	MaxLoadAfter   core.Size `json:"max_load_after"`
+	// MigrationBytes is the swap's migration cost: new placement bytes not
+	// already in place under the old schema, by greedy max-byte-overlap
+	// matching of old and new reducers.
+	MigrationBytes core.Size `json:"migration_bytes"`
+	// Elapsed is the wall-clock time of replan plus swap.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// replan solves a snapshot at the headroom-reduced capacity so the new
+// schema's reducers keep slack for future arrivals; an instance that is only
+// feasible at the full capacity is retried there (correctness beats
+// headroom).
+func (s *Session) replan(ctx context.Context, sizes []core.Size) (*core.MappingSchema, error) {
+	qEff := s.planCapacity()
+	planned, err := s.cfg.Replan(ctx, sizes, qEff)
+	if err != nil && qEff < s.cfg.Capacity && errors.Is(err, core.ErrInfeasible) {
+		planned, err = s.cfg.Replan(ctx, sizes, s.cfg.Capacity)
+	}
+	return planned, err
+}
+
+// Rebuild runs a full replan of the live instance through the configured
+// ReplanFunc and atomically swaps the result in, reconciling deltas that
+// raced the solve. Only one rebuild (manual or automatic) runs at a time.
+func (s *Session) Rebuild(ctx context.Context) (*RebuildReport, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.rebuilding {
+		s.mu.Unlock()
+		return nil, ErrRebuildInFlight
+	}
+	s.rebuilding = true
+	s.mu.Unlock()
+	rep, err := s.rebuild(ctx)
+	s.mu.Lock()
+	s.rebuilding = false
+	s.mu.Unlock()
+	return rep, err
+}
+
+// rebuild snapshots, replans outside the lock, and swaps. The caller owns
+// the rebuilding flag.
+func (s *Session) rebuild(ctx context.Context) (*RebuildReport, error) {
+	start := time.Now()
+	s.mu.Lock()
+	snapIDs := append([]InputID(nil), s.ids...)
+	snapSizes := make([]core.Size, len(snapIDs))
+	for i, id := range snapIDs {
+		snapSizes[i] = s.sizes[id]
+	}
+	q := s.cfg.Capacity
+	s.mu.Unlock()
+
+	planned := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q}
+	if len(snapIDs) > 0 {
+		var err error
+		planned, err = s.replan(ctx, snapSizes)
+		if err != nil {
+			s.mu.Lock()
+			s.st.rebuildFailures++
+			s.mu.Unlock()
+			return nil, fmt.Errorf("stream: replanning %d inputs: %w", len(snapIDs), err)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	rep := s.swapLocked(planned, snapIDs)
+	rep.Elapsed = time.Since(start)
+	s.st.rebuilds++
+	s.st.lastMigration = rep.MigrationBytes
+	s.st.movedBytes += rep.MigrationBytes
+	return rep, nil
+}
+
+// swapLocked installs a planned schema over the snapshot IDs and reconciles
+// it with the current live set: inputs removed since the snapshot are
+// stripped, reducers overloaded by races (resizes during the solve) evict
+// their largest members, and every input left without full coverage — added
+// since, evicted, or absent from the plan — is repaired through the normal
+// cover path. Drift resets to zero. The migration cost is measured against
+// the pre-swap structure after all repairs, so it prices exactly the
+// placement change the swap causes.
+func (s *Session) swapLocked(planned *core.MappingSchema, snapIDs []InputID) *RebuildReport {
+	rep := &RebuildReport{PlannedInputs: len(snapIDs)}
+	oldReds := make([]*red, 0, len(s.reds))
+	for _, r := range s.reds {
+		if r == nil {
+			continue
+		}
+		oldReds = append(oldReds, r)
+		rep.ReducersBefore++
+		if r.load > rep.MaxLoadBefore {
+			rep.MaxLoadBefore = r.load
+		}
+	}
+
+	s.reds = s.reds[:0]
+	s.free = s.free[:0]
+	for _, id := range s.ids {
+		s.assign[id] = nil
+	}
+	for _, pr := range planned.Reducers {
+		ext := make([]InputID, 0, len(pr.Inputs))
+		for _, dense := range pr.Inputs {
+			if dense < 0 || dense >= len(snapIDs) {
+				continue // a plan for a different instance shape; skip defensively
+			}
+			e := snapIDs[dense]
+			if _, live := s.sizes[e]; !live {
+				continue // removed while the solve ran
+			}
+			ext = append(ext, e)
+		}
+		if len(ext) == 0 {
+			continue
+		}
+		sort.Ints(ext)
+		slot := s.newRedLocked()
+		for i, e := range ext {
+			if i > 0 && e == ext[i-1] {
+				continue
+			}
+			s.addToRedLocked(e, slot)
+		}
+	}
+
+	// Loads were recomputed from the current sizes, so a resize that raced
+	// the solve can overload an imported reducer; evict largest-first.
+	needRepair := make(map[InputID]struct{})
+	for slot, r := range s.reds {
+		if r == nil {
+			continue
+		}
+		for r.load > s.cfg.Capacity {
+			victim, vw := InputID(-1), core.Size(0)
+			for _, m := range r.members {
+				if w := s.sizes[m]; w > vw {
+					victim, vw = m, w
+				}
+			}
+			s.removeFromRedLocked(victim, slot)
+			needRepair[victim] = struct{}{}
+			if s.reds[slot] == nil {
+				break
+			}
+		}
+	}
+	for _, id := range s.ids {
+		if len(s.assign[id]) == 0 {
+			needRepair[id] = struct{}{}
+		}
+	}
+	repair := make([]InputID, 0, len(needRepair))
+	for id := range needRepair {
+		repair = append(repair, id)
+	}
+	sort.Ints(repair)
+	for _, id := range repair {
+		// Inputs still awaiting repair are untrusted as cover templates and
+		// skipped as residue; repairing them later, with this input already
+		// trusted, covers the shared pair instead.
+		var dr DeltaReport
+		s.coverLocked(id, needRepair, &dr)
+		delete(needRepair, id)
+	}
+	rep.RepairedInputs = len(repair)
+
+	for _, r := range s.reds {
+		if r == nil {
+			continue
+		}
+		rep.ReducersAfter++
+		if r.load > rep.MaxLoadAfter {
+			rep.MaxLoadAfter = r.load
+		}
+	}
+	rep.MigrationBytes = migrationCost(oldReds, s.reds, func(id InputID) core.Size { return s.sizes[id] })
+	s.drift = 0
+	s.version++
+	return rep
+}
+
+// migrationCost estimates the bytes that must move to turn the old reducer
+// placement into the new one: each new reducer is greedily matched (largest
+// first) to the unused old reducer sharing the most bytes with it, and only
+// its unmatched bytes count as moved.
+func migrationCost(before, after []*red, size func(InputID) core.Size) core.Size {
+	newIdx := make([]int, 0, len(after))
+	for i, r := range after {
+		if r != nil {
+			newIdx = append(newIdx, i)
+		}
+	}
+	sort.Slice(newIdx, func(a, b int) bool {
+		if after[newIdx[a]].load != after[newIdx[b]].load {
+			return after[newIdx[a]].load > after[newIdx[b]].load
+		}
+		return newIdx[a] < newIdx[b]
+	})
+	used := make([]bool, len(before))
+	var moved core.Size
+	for _, ni := range newIdx {
+		nr := after[ni]
+		bestOld, bestOverlap := -1, core.Size(-1)
+		for oi, or := range before {
+			if or == nil || used[oi] {
+				continue
+			}
+			var overlap core.Size
+			i, j := 0, 0
+			for i < len(nr.members) && j < len(or.members) {
+				switch {
+				case nr.members[i] == or.members[j]:
+					overlap += size(nr.members[i])
+					i++
+					j++
+				case nr.members[i] < or.members[j]:
+					i++
+				default:
+					j++
+				}
+			}
+			if overlap > bestOverlap {
+				bestOld, bestOverlap = oi, overlap
+			}
+		}
+		if bestOld >= 0 {
+			used[bestOld] = true
+			moved += nr.load - bestOverlap
+		} else {
+			moved += nr.load
+		}
+	}
+	return moved
+}
+
+// MigrationCost estimates the bytes that must move to turn one schema's
+// placement into another's, with each schema's dense input IDs translated
+// through its own dense-to-external ID slice and priced by size. It is the
+// same greedy max-byte-overlap matching the rebuild swap reports, exposed so
+// experiments can price full-replan churn the same way.
+func MigrationCost(oldSchema, newSchema *core.MappingSchema, oldIDs, newIDs []InputID, size func(InputID) core.Size) core.Size {
+	toReds := func(ms *core.MappingSchema, ids []InputID) []*red {
+		reds := make([]*red, 0, len(ms.Reducers))
+		for _, pr := range ms.Reducers {
+			ext := make([]InputID, 0, len(pr.Inputs))
+			for _, dense := range pr.Inputs {
+				if dense >= 0 && dense < len(ids) {
+					ext = append(ext, ids[dense])
+				}
+			}
+			sort.Ints(ext)
+			r := &red{}
+			for i, e := range ext {
+				if i > 0 && e == ext[i-1] {
+					continue
+				}
+				r.members = append(r.members, e)
+				r.load += size(e)
+			}
+			reds = append(reds, r)
+		}
+		return reds
+	}
+	return migrationCost(toReds(oldSchema, oldIDs), toReds(newSchema, newIDs), size)
+}

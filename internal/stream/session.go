@@ -1,0 +1,493 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// InputID identifies one live input of a session. IDs are handed out by Add
+// (and by NewSession for the initial inputs, as 0..m-1) and stay stable
+// across repairs and rebuilds; they are never reused after Remove.
+type InputID = int
+
+// ReplanFunc solves the offline problem for a full snapshot of the live
+// sizes: the i-th size is the input with dense ID i, and the returned schema
+// must be a valid A2A mapping schema for those sizes under capacity q. The
+// session calls it outside its lock, so it may be arbitrarily slow.
+type ReplanFunc func(ctx context.Context, sizes []core.Size, q core.Size) (*core.MappingSchema, error)
+
+// Defaults for Config.
+const (
+	// DefaultRebuildThreshold is the drift ratio (drift bytes over live
+	// bytes) past which a rebuild is requested.
+	DefaultRebuildThreshold = 1.0
+)
+
+// Config configures NewSession.
+type Config struct {
+	// Capacity is the reducer capacity q. Required.
+	Capacity core.Size
+	// MigrationBudget caps the opportunistic movement (reducer-merge
+	// compaction) of one delta, in bytes. 0 means 2*Capacity; negative
+	// disables compaction. Mandatory repair ignores the budget and flags
+	// OverBudget instead (see the package comment).
+	MigrationBudget core.Size
+	// Headroom is the slack reserved in every reducer the session itself
+	// builds or replans: plans are solved at Capacity-Headroom so arrivals
+	// up to this size can join existing reducers instead of cascading into
+	// fresh ones. Correctness is always enforced at the full Capacity.
+	// 0 means Capacity/8; negative reserves nothing.
+	Headroom core.Size
+	// RebuildThreshold is the drift ratio past which NeedsRebuild reports
+	// true. 0 means DefaultRebuildThreshold; negative disables rebuild
+	// requests entirely.
+	RebuildThreshold float64
+	// AutoRebuild makes the session trigger background rebuilds itself when
+	// drift passes the threshold. When false, callers poll NeedsRebuild and
+	// run Rebuild on their own pool (cmd/pland runs it on its job queue).
+	AutoRebuild bool
+	// Replan solves a full snapshot during rebuilds. Required.
+	Replan ReplanFunc
+	// Initial seeds the session: NewSession plans these sizes through Replan
+	// once and imports the result, so the session starts from a portfolio-
+	// quality schema instead of m incremental repairs.
+	Initial []core.Size
+}
+
+// Session errors.
+var (
+	// ErrClosed is returned by every method after Close.
+	ErrClosed = errors.New("stream: session is closed")
+	// ErrUnknownID is returned for deltas addressing an input that is not
+	// live.
+	ErrUnknownID = errors.New("stream: unknown input id")
+	// ErrRebuildInFlight is returned by Rebuild while another rebuild (manual
+	// or automatic) is still running.
+	ErrRebuildInFlight = errors.New("stream: a rebuild is already in flight")
+)
+
+// red is one reducer of the live structure. Members are kept as a sorted
+// slice: at the typical tens-of-members scale, binary search plus memmove
+// beats hashing, and intersection becomes a cheap merge walk.
+type red struct {
+	members []InputID // ascending
+	load    core.Size
+}
+
+// counters are the cumulative session statistics; Session.mu guards them.
+type counters struct {
+	adds, removes, resizes    uint64
+	rebuilds, rebuildFailures uint64
+	movedBytes                core.Size
+	lastMigration             core.Size
+}
+
+// Session owns a live mapping schema and applies deltas to it. Create with
+// NewSession; Sessions are safe for concurrent use.
+type Session struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sizes map[InputID]core.Size
+	ids   []InputID // live IDs, ascending
+	total core.Size
+	next  InputID
+	// reds holds the reducers; nil entries are free slots recycled via free.
+	reds []*red
+	free []int
+	// assign maps each live input to the sorted slots of the reducers
+	// holding it.
+	assign map[InputID][]int
+
+	// cursor rotates cover templates across the live inputs so arrivals
+	// spread over every reducer row instead of piling onto one.
+	cursor InputID
+	// maxLive caches the largest live size for O(1) pair-feasibility
+	// checks; maxDirty forces a rescan after the max may have shrunk.
+	maxLive  core.Size
+	maxDirty bool
+
+	drift      core.Size
+	version    uint64
+	rebuilding bool
+	closed     bool
+	st         counters
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewSession builds a session for capacity cfg.Capacity. When cfg.Initial is
+// non-empty the initial instance is planned through cfg.Replan under ctx and
+// imported, so an infeasible or failing initial plan surfaces here.
+func NewSession(ctx context.Context, cfg Config) (*Session, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("stream: capacity must be positive, got %d", cfg.Capacity)
+	}
+	if cfg.Replan == nil {
+		return nil, errors.New("stream: Config.Replan is required")
+	}
+	s := &Session{
+		cfg:    cfg,
+		sizes:  make(map[InputID]core.Size),
+		assign: make(map[InputID][]int),
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	if len(cfg.Initial) == 0 {
+		return s, nil
+	}
+	var top1, top2 core.Size
+	for i, w := range cfg.Initial {
+		if w <= 0 {
+			return nil, fmt.Errorf("stream: initial input %d: %w (size %d)", i, core.ErrNonPositiveSize, w)
+		}
+		if w > top1 {
+			top1, top2 = w, top1
+		} else if w > top2 {
+			top2 = w
+		}
+	}
+	if top1 > cfg.Capacity || (len(cfg.Initial) > 1 && top1+top2 > cfg.Capacity) {
+		return nil, fmt.Errorf("%w: initial sizes do not fit capacity %d pairwise", core.ErrInfeasible, cfg.Capacity)
+	}
+	planned, err := s.replan(ctx, cfg.Initial)
+	if err != nil {
+		return nil, fmt.Errorf("stream: planning initial instance: %w", err)
+	}
+	snapIDs := make([]InputID, len(cfg.Initial))
+	for i, w := range cfg.Initial {
+		snapIDs[i] = i
+		s.sizes[i] = w
+		s.assign[i] = nil
+		s.ids = append(s.ids, i)
+		s.total += w
+	}
+	s.next = len(cfg.Initial)
+	s.maxLive = top1
+	s.swapLocked(planned, snapIDs) // no concurrency yet, lock not needed
+	return s, nil
+}
+
+// Close stops the session: the in-flight background rebuild (if any) is
+// canceled and awaited, and every later method returns ErrClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}
+
+// Len returns the number of live inputs.
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ids)
+}
+
+// Stats is a point-in-time census of a session.
+type Stats struct {
+	// Inputs and LiveBytes describe the live instance.
+	Inputs    int       `json:"inputs"`
+	LiveBytes core.Size `json:"live_bytes"`
+	// Reducers, MaxLoad, Communication, and ReplicationRate price the
+	// current schema exactly as core.Cost does.
+	Reducers        int       `json:"reducers"`
+	MaxLoad         core.Size `json:"max_load"`
+	Communication   core.Size `json:"communication"`
+	ReplicationRate float64   `json:"replication_rate"`
+	// Adds, Removes, and Resizes count applied deltas; Rebuilds and
+	// RebuildFailures count full replans.
+	Adds            uint64 `json:"adds"`
+	Removes         uint64 `json:"removes"`
+	Resizes         uint64 `json:"resizes"`
+	Rebuilds        uint64 `json:"rebuilds"`
+	RebuildFailures uint64 `json:"rebuild_failures"`
+	// MovedBytes is the cumulative bytes shipped by repairs, compaction, and
+	// rebuild swaps.
+	MovedBytes core.Size `json:"moved_bytes"`
+	// DriftBytes and DriftRatio measure divergence from a fresh plan since
+	// the last rebuild; NeedsRebuild is DriftRatio against the threshold.
+	DriftBytes   core.Size `json:"drift_bytes"`
+	DriftRatio   float64   `json:"drift_ratio"`
+	NeedsRebuild bool      `json:"needs_rebuild"`
+	// LastRebuildMigration is the migration cost of the most recent swap.
+	LastRebuildMigration core.Size `json:"last_rebuild_migration"`
+	// RebuildInFlight reports whether a rebuild is currently running.
+	RebuildInFlight bool `json:"rebuild_in_flight"`
+	// Version increments on every delta and every swap.
+	Version uint64 `json:"version"`
+}
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statsLocked()
+}
+
+func (s *Session) statsLocked() Stats {
+	st := Stats{
+		Inputs:               len(s.ids),
+		LiveBytes:            s.total,
+		Adds:                 s.st.adds,
+		Removes:              s.st.removes,
+		Resizes:              s.st.resizes,
+		Rebuilds:             s.st.rebuilds,
+		RebuildFailures:      s.st.rebuildFailures,
+		MovedBytes:           s.st.movedBytes,
+		DriftBytes:           s.drift,
+		DriftRatio:           s.driftRatioLocked(),
+		NeedsRebuild:         s.needsRebuildLocked(),
+		LastRebuildMigration: s.st.lastMigration,
+		RebuildInFlight:      s.rebuilding,
+		Version:              s.version,
+	}
+	for _, r := range s.reds {
+		if r == nil {
+			continue
+		}
+		st.Reducers++
+		st.Communication += r.load
+		if r.load > st.MaxLoad {
+			st.MaxLoad = r.load
+		}
+	}
+	if s.total > 0 {
+		st.ReplicationRate = float64(st.Communication) / float64(s.total)
+	}
+	return st
+}
+
+// Snapshot is a consistent view of the session: the schema over dense input
+// IDs plus the mapping back to the session's stable external IDs.
+type Snapshot struct {
+	// Schema is the current mapping schema. Input IDs are dense 0..m-1 in
+	// ascending external-ID order, so exec.NewAuditor and core.ValidateA2A
+	// apply directly. The schema is owned by the caller.
+	Schema *core.MappingSchema
+	// IDs maps dense IDs to external ones: IDs[dense] is the external ID.
+	IDs []InputID
+	// Sizes are the live sizes, aligned with IDs.
+	Sizes []core.Size
+	// Stats is the census at snapshot time.
+	Stats Stats
+}
+
+// Snapshot materializes the current schema and census atomically.
+func (s *Session) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := &Snapshot{
+		Schema: &core.MappingSchema{Problem: core.ProblemA2A, Capacity: s.cfg.Capacity, Algorithm: "stream/incremental"},
+		IDs:    append([]InputID(nil), s.ids...),
+		Sizes:  make([]core.Size, len(s.ids)),
+		Stats:  s.statsLocked(),
+	}
+	dense := make(map[InputID]int, len(s.ids))
+	for i, id := range snap.IDs {
+		dense[id] = i
+		snap.Sizes[i] = s.sizes[id]
+	}
+	for _, r := range s.reds {
+		if r == nil {
+			continue
+		}
+		// Members are sorted by external ID and the dense mapping preserves
+		// order, so the dense inputs come out ascending.
+		inputs := make([]int, len(r.members))
+		for i, m := range r.members {
+			inputs[i] = dense[m]
+		}
+		snap.Schema.Reducers = append(snap.Schema.Reducers, core.Reducer{Inputs: inputs, Load: r.load})
+	}
+	return snap
+}
+
+// liveMaxLocked returns the largest live input size, rescanning only after
+// a removal or shrink may have lowered it.
+func (s *Session) liveMaxLocked() core.Size {
+	if s.maxDirty {
+		s.maxLive = 0
+		for _, id := range s.ids {
+			if w := s.sizes[id]; w > s.maxLive {
+				s.maxLive = w
+			}
+		}
+		s.maxDirty = false
+	}
+	return s.maxLive
+}
+
+// liveMaxExcludingLocked returns the largest live size among inputs other
+// than x.
+func (s *Session) liveMaxExcludingLocked(x InputID) core.Size {
+	if !s.maxDirty && s.sizes[x] < s.maxLive {
+		return s.maxLive
+	}
+	var max core.Size
+	for _, id := range s.ids {
+		if id != x && s.sizes[id] > max {
+			max = s.sizes[id]
+		}
+	}
+	return max
+}
+
+// noteSizeLocked folds a new or grown size into the cached maximum.
+func (s *Session) noteSizeLocked(w core.Size) {
+	if !s.maxDirty && w > s.maxLive {
+		s.maxLive = w
+	}
+}
+
+// noteShrinkLocked marks the cache dirty when a size at the maximum left.
+func (s *Session) noteShrinkLocked(w core.Size) {
+	if w >= s.maxLive {
+		s.maxDirty = true
+	}
+}
+
+// planCapacity is the capacity handed to ReplanFunc and used when packing
+// fresh reducers: the real capacity minus the reserved headroom. Pairs that
+// only fit the full capacity still get it (correctness beats headroom).
+func (s *Session) planCapacity() core.Size {
+	h := s.cfg.Headroom
+	switch {
+	case h < 0:
+		h = 0
+	case h == 0:
+		h = s.cfg.Capacity / 8
+	}
+	if h >= s.cfg.Capacity {
+		h = 0
+	}
+	return s.cfg.Capacity - h
+}
+
+// migrationBudget resolves the per-delta compaction budget.
+func (s *Session) migrationBudget() core.Size {
+	switch {
+	case s.cfg.MigrationBudget > 0:
+		return s.cfg.MigrationBudget
+	case s.cfg.MigrationBudget < 0:
+		return 0
+	default:
+		return 2 * s.cfg.Capacity
+	}
+}
+
+func (s *Session) driftRatioLocked() float64 {
+	if s.total <= 0 {
+		return 0
+	}
+	return float64(s.drift) / float64(s.total)
+}
+
+// NeedsRebuild reports whether drift has passed the rebuild threshold. With
+// AutoRebuild unset this is the caller's cue to schedule Rebuild.
+func (s *Session) NeedsRebuild() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.needsRebuildLocked()
+}
+
+func (s *Session) needsRebuildLocked() bool {
+	th := s.cfg.RebuildThreshold
+	if th == 0 {
+		th = DefaultRebuildThreshold
+	}
+	if th < 0 || len(s.ids) < 2 {
+		return false
+	}
+	return s.driftRatioLocked() > th
+}
+
+// insertSorted inserts v into the ascending slice, which must not already
+// contain it.
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// deleteSorted removes v from the ascending slice if present.
+func deleteSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		s = append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// containsSorted reports whether the ascending slice holds v.
+func containsSorted(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// intersectsSorted reports whether two ascending slices share an element.
+func intersectsSorted(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// sharesReducer reports whether the two sorted assignment sets intersect.
+func sharesReducer(a, b []int) bool { return intersectsSorted(a, b) }
+
+// newRedLocked allocates a reducer slot.
+func (s *Session) newRedLocked() int {
+	r := &red{}
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.reds[slot] = r
+		return slot
+	}
+	s.reds = append(s.reds, r)
+	return len(s.reds) - 1
+}
+
+// addToRedLocked assigns input x to the reducer in slot.
+func (s *Session) addToRedLocked(x InputID, slot int) {
+	r := s.reds[slot]
+	r.members = insertSorted(r.members, x)
+	r.load += s.sizes[x]
+	s.assign[x] = insertSorted(s.assign[x], slot)
+}
+
+// removeFromRedLocked drops input x from the reducer in slot, freeing the
+// slot when it empties.
+func (s *Session) removeFromRedLocked(x InputID, slot int) {
+	r := s.reds[slot]
+	r.members = deleteSorted(r.members, x)
+	r.load -= s.sizes[x]
+	s.assign[x] = deleteSorted(s.assign[x], slot)
+	if len(r.members) == 0 {
+		s.reds[slot] = nil
+		s.free = append(s.free, slot)
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// ChurnOp is one kind of stream delta.
+type ChurnOp int
+
+const (
+	// OpAdd inserts a new input; the event's ID is the one a session
+	// mirroring the trace will assign (sequential after the initial block).
+	OpAdd ChurnOp = iota
+	// OpRemove deletes the identified live input.
+	OpRemove
+	// OpResize changes the identified live input's size.
+	OpResize
+)
+
+// String implements fmt.Stringer.
+func (o ChurnOp) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpResize:
+		return "resize"
+	default:
+		return fmt.Sprintf("ChurnOp(%d)", int(o))
+	}
+}
+
+// ChurnEvent is one delta of a churn trace.
+type ChurnEvent struct {
+	Op ChurnOp
+	// ID identifies the input: for OpAdd the ID the event creates, for
+	// OpRemove/OpResize the victim. IDs follow stream-session semantics —
+	// the initial inputs are 0..Initial-1 and every add takes the next
+	// integer — so a trace replays against a session without translation.
+	ID int
+	// Size is the new input's size (OpAdd) or the new size (OpResize).
+	Size core.Size
+}
+
+// ChurnSpec describes a churn trace over an initially-planned instance.
+type ChurnSpec struct {
+	// Initial is how many inputs are live before the trace starts (they get
+	// IDs 0..Initial-1). Must be at least 2 so removals never empty the
+	// instance.
+	Initial int
+	// Steps is the number of events to generate.
+	Steps int
+	// AddWeight, RemoveWeight, and ResizeWeight set the relative frequency
+	// of each delta kind; all zero means 1/1/1. Removals are suppressed
+	// (becoming adds) while fewer than 2 inputs are live.
+	AddWeight, RemoveWeight, ResizeWeight float64
+	// Sizes is the size distribution of added inputs and resize targets.
+	Sizes SizeSpec
+}
+
+// Churn generates a deterministic churn trace: Steps events over a live set
+// that starts as IDs 0..Initial-1, with victims drawn uniformly from the
+// live set and sizes drawn from the size spec.
+func Churn(spec ChurnSpec, seed int64) ([]ChurnEvent, error) {
+	if spec.Initial < 2 {
+		return nil, fmt.Errorf("workload: churn needs Initial >= 2, got %d", spec.Initial)
+	}
+	if spec.Steps <= 0 {
+		return nil, fmt.Errorf("workload: churn needs Steps > 0, got %d", spec.Steps)
+	}
+	wa, wr, wz := spec.AddWeight, spec.RemoveWeight, spec.ResizeWeight
+	if wa < 0 || wr < 0 || wz < 0 {
+		return nil, fmt.Errorf("workload: churn weights must be non-negative")
+	}
+	if wa+wr+wz == 0 {
+		wa, wr, wz = 1, 1, 1
+	}
+	// One size draw per step covers every add or resize the trace can need.
+	sizes, err := Sizes(spec.Sizes, spec.Steps, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	live := make([]int, spec.Initial)
+	for i := range live {
+		live[i] = i
+	}
+	next := spec.Initial
+	events := make([]ChurnEvent, 0, spec.Steps)
+	for i := 0; i < spec.Steps; i++ {
+		r := rng.Float64() * (wa + wr + wz)
+		var op ChurnOp
+		switch {
+		case r < wa:
+			op = OpAdd
+		case r < wa+wr:
+			op = OpRemove
+		default:
+			op = OpResize
+		}
+		if op != OpAdd && len(live) < 2 {
+			op = OpAdd
+		}
+		switch op {
+		case OpAdd:
+			events = append(events, ChurnEvent{Op: OpAdd, ID: next, Size: sizes[i]})
+			live = append(live, next)
+			next++
+		case OpRemove:
+			k := rng.Intn(len(live))
+			events = append(events, ChurnEvent{Op: OpRemove, ID: live[k]})
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case OpResize:
+			k := rng.Intn(len(live))
+			events = append(events, ChurnEvent{Op: OpResize, ID: live[k], Size: sizes[i]})
+		}
+	}
+	return events, nil
+}

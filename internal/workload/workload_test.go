@@ -270,3 +270,71 @@ func TestGenerateRelationValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnTrace(t *testing.T) {
+	spec := ChurnSpec{
+		Initial: 10, Steps: 200,
+		Sizes: SizeSpec{Dist: Uniform, Min: 1, Max: 16},
+	}
+	a, err := Churn(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 {
+		t.Fatalf("got %d events, want 200", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Replay: IDs must always address live inputs, adds must take the next
+	// sequential ID, and all three ops must occur.
+	live := map[int]bool{}
+	for i := 0; i < spec.Initial; i++ {
+		live[i] = true
+	}
+	next := spec.Initial
+	var adds, removes, resizes int
+	for i, ev := range a {
+		switch ev.Op {
+		case OpAdd:
+			if ev.ID != next {
+				t.Fatalf("event %d: add got ID %d, want %d", i, ev.ID, next)
+			}
+			if ev.Size <= 0 {
+				t.Fatalf("event %d: add size %d", i, ev.Size)
+			}
+			live[ev.ID] = true
+			next++
+			adds++
+		case OpRemove:
+			if !live[ev.ID] {
+				t.Fatalf("event %d: remove of dead input %d", i, ev.ID)
+			}
+			delete(live, ev.ID)
+			removes++
+		case OpResize:
+			if !live[ev.ID] || ev.Size <= 0 {
+				t.Fatalf("event %d: bad resize %+v", i, ev)
+			}
+			resizes++
+		}
+		if len(live) == 0 {
+			t.Fatalf("event %d emptied the live set", i)
+		}
+	}
+	if adds == 0 || removes == 0 || resizes == 0 {
+		t.Fatalf("trace missed an op kind: add=%d remove=%d resize=%d", adds, removes, resizes)
+	}
+	if _, err := Churn(ChurnSpec{Initial: 1, Steps: 5, Sizes: spec.Sizes}, 1); err == nil {
+		t.Error("Initial < 2 accepted")
+	}
+	if _, err := Churn(ChurnSpec{Initial: 5, Steps: 0, Sizes: spec.Sizes}, 1); err == nil {
+		t.Error("Steps = 0 accepted")
+	}
+}

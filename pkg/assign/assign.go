@@ -37,6 +37,12 @@ type request struct {
 	workers int
 	noAudit bool
 
+	// Session-only options (see session.go).
+	migrationBudget  Size
+	rebuildThreshold float64
+	headroom         Size
+	manualRebuild    bool
+
 	errs []error
 }
 

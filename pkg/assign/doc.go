@@ -31,6 +31,20 @@
 // isomorphic instances across callers hit a single cache; NewPlanner builds
 // an isolated planner when that sharing is unwanted.
 //
+// A plan need not be one-shot: NewSession opens a live, continuously
+// maintained assignment that absorbs Add/Remove/Resize deltas by bounded
+// local repair and replans in the background when cumulative drift calls
+// for it:
+//
+//	sess, err := assign.NewSession(ctx,
+//	    assign.A2A(sizes), assign.Capacity(1<<20),
+//	    assign.MigrationBudget(4<<20), assign.RebuildThreshold(0.5))
+//	id, rep, err := sess.Add(4096)
+//
+// After any sequence of deltas the session's schema still satisfies the
+// paper's invariants: every required pair meets at exactly one owning
+// reducer and all loads stay within the capacity.
+//
 // For talking to a remote pland service instead of planning in-process, see
 // the pkg/assign/plandclient subpackage.
 //
@@ -38,9 +52,9 @@
 //
 // Everything exported by pkg/assign and pkg/assign/plandclient is the
 // system's stable surface: the option constructors, the Result, Execution,
-// and Stats shapes, and the re-exported core vocabulary (Size, Problem,
-// MappingSchema, Reducer, Cost, InputSet, and the Err* values). These only
-// change compatibly.
+// Session, and Stats shapes, and the re-exported core vocabulary (Size,
+// Problem, MappingSchema, Reducer, Cost, InputSet, and the Err* values).
+// These only change compatibly.
 //
 // Packages under internal/ — the solver implementations, the execution
 // engine, the planner cache — carry no compatibility promise at all: they

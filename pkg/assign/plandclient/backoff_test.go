@@ -1,0 +1,189 @@
+package plandclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/assign"
+)
+
+// pollCounter fakes GET /v2/jobs/{id}: the job stays running for
+// terminalAfter-1 polls, then succeeds.
+type pollCounter struct {
+	mu            sync.Mutex
+	polls         int
+	terminalAfter int
+}
+
+func (p *pollCounter) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		p.polls++
+		state := StateRunning
+		if p.polls >= p.terminalAfter {
+			state = StateSucceeded
+		}
+		p.mu.Unlock()
+		json.NewEncoder(w).Encode(Job{ID: "j1", Type: "plan", State: state, Result: json.RawMessage(`{}`)})
+	})
+	return mux
+}
+
+func (p *pollCounter) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.polls
+}
+
+// TestWaitJobBackoff pins the polling schedule: retries start near poll/16,
+// double with ±25% jitter, and cap at the poll interval — so a slow job
+// costs one request per interval while a fast one resolves in milliseconds.
+func TestWaitJobBackoff(t *testing.T) {
+	stub := &pollCounter{terminalAfter: 8}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	c := New(srv.URL)
+	var delays []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	const poll = 160 * time.Millisecond
+	job, err := c.WaitJob(context.Background(), "j1", poll)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if job.State != StateSucceeded {
+		t.Fatalf("job state = %s", job.State)
+	}
+	if got := stub.count(); got != stub.terminalAfter {
+		t.Fatalf("server saw %d polls, want exactly %d", got, stub.terminalAfter)
+	}
+	if len(delays) != stub.terminalAfter-1 {
+		t.Fatalf("slept %d times, want %d", len(delays), stub.terminalAfter-1)
+	}
+	base := poll / 16
+	for i, d := range delays {
+		center := base << i
+		if center > poll {
+			center = poll
+		}
+		lo := center - center/4
+		hi := center + center/4
+		if hi > poll {
+			hi = poll
+		}
+		if d < lo || d > hi {
+			t.Fatalf("delay %d = %v outside backoff window [%v, %v]", i, d, lo, hi)
+		}
+	}
+	// The whole wait must be far cheaper than fixed-interval polling, which
+	// would have slept 7 full intervals.
+	var total time.Duration
+	for _, d := range delays {
+		total += d
+	}
+	if fixed := time.Duration(len(delays)) * poll; total >= fixed*3/4 {
+		t.Fatalf("backoff slept %v, barely below fixed polling's %v", total, fixed)
+	}
+}
+
+// TestWaitJobBackoffContext ends the wait when the context does.
+func TestWaitJobBackoffContext(t *testing.T) {
+	stub := &pollCounter{terminalAfter: 1 << 30}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	c := New(srv.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel()
+		return ctx.Err()
+	}
+	if _, err := c.WaitJob(ctx, "j1", time.Second); err == nil {
+		t.Fatal("WaitJob survived a canceled context")
+	}
+	if got := stub.count(); got != 1 {
+		t.Fatalf("server saw %d polls after cancellation, want 1", got)
+	}
+}
+
+// TestSessionWireShapes drives the session client against a stub speaking
+// the server's wire format.
+func TestSessionWireShapes(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/sessions", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req SessionCreateRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Capacity <= 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				fmt.Fprint(w, `{"error":{"code":"bad_request","message":"capacity"}}`)
+				return
+			}
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(Session{ID: "s-1", IDs: []int{0, 1}, Sizes: req.Sizes})
+		case http.MethodGet:
+			json.NewEncoder(w).Encode(SessionList{Sessions: []Session{{ID: "s-1"}}, Count: 1, Limit: 64})
+		}
+	})
+	mux.HandleFunc("/v2/sessions/s-1", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPatch:
+			var req struct {
+				Deltas []SessionDelta `json:"deltas"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			out := SessionPatchResult{Applied: len(req.Deltas), RebuildJobID: "job-7"}
+			for range req.Deltas {
+				out.Results = append(out.Results, SessionDeltaResult{})
+			}
+			json.NewEncoder(w).Encode(out)
+		case http.MethodGet, http.MethodDelete:
+			json.NewEncoder(w).Encode(Session{ID: "s-1"})
+		}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx := context.Background()
+	c := New(srv.URL)
+	sess, err := c.CreateSession(ctx, SessionCreateRequest{Capacity: 10, Sizes: []assign.Size{4, 6}})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if sess.ID != "s-1" || len(sess.Sizes) != 2 {
+		t.Fatalf("created session = %+v", sess)
+	}
+	if _, err := c.CreateSession(ctx, SessionCreateRequest{}); !IsCode(err, CodeBadRequest) {
+		t.Fatalf("invalid create: err = %v", err)
+	}
+	list, err := c.ListSessions(ctx)
+	if err != nil || list.Count != 1 || list.Limit != 64 {
+		t.Fatalf("ListSessions = %+v, %v", list, err)
+	}
+	patch, err := c.UpdateSession(ctx, "s-1", AddDelta(4), RemoveDelta(0), ResizeDelta(1, 9))
+	if err != nil {
+		t.Fatalf("UpdateSession: %v", err)
+	}
+	if patch.Applied != 3 || len(patch.Results) != 3 || patch.RebuildJobID != "job-7" {
+		t.Fatalf("patch result = %+v", patch)
+	}
+	if got, err := c.GetSession(ctx, "s-1"); err != nil || got.ID != "s-1" {
+		t.Fatalf("GetSession = %+v, %v", got, err)
+	}
+	if _, err := c.DeleteSession(ctx, "s-1"); err != nil {
+		t.Fatalf("DeleteSession: %v", err)
+	}
+}

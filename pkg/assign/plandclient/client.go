@@ -1,8 +1,10 @@
 // Package plandclient is the Go client of the pland HTTP service: the
-// synchronous v1 endpoints (Plan, Execute) and the asynchronous v2 job API
+// synchronous v1 endpoints (Plan, Execute), the asynchronous v2 job API
 // (SubmitPlan, SubmitExecute, GetJob, CancelJob, and the WaitJob polling
-// helper). It is part of the public SDK surface; see pkg/assign for the
-// compatibility contract.
+// helper with exponential backoff), and the v2 session API for live,
+// continuously-maintained assignments (CreateSession, UpdateSession with
+// delta batches, GetSession, DeleteSession). It is part of the public SDK
+// surface; see pkg/assign for the compatibility contract.
 package plandclient
 
 import (
@@ -12,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -24,6 +27,9 @@ import (
 type Client struct {
 	baseURL string
 	httpc   *http.Client
+	// sleep parks between WaitJob polls; tests replace it to observe the
+	// backoff schedule without waiting it out.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // Option configures New.
@@ -42,11 +48,24 @@ func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		baseURL: strings.TrimRight(baseURL, "/"),
 		httpc:   &http.Client{Timeout: 30 * time.Second},
+		sleep:   sleepCtx,
 	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // APIError is a pland error envelope: a stable machine-readable Code, a
@@ -71,6 +90,7 @@ const (
 	CodeNotFound         = "not_found"
 	CodeConflict         = "conflict"
 	CodeQueueFull        = "queue_full"
+	CodeSessionLimit     = "session_limit"
 	CodeUnprocessable    = "unprocessable"
 	CodePlanTimeout      = "plan_timeout"
 	CodeCanceled         = "canceled"
@@ -275,15 +295,21 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
 	return &out, nil
 }
 
-// WaitJob polls GET /v2/jobs/{id} every poll interval (default 100ms) until
-// the job reaches a terminal state or ctx ends. The terminal job is
+// WaitJob polls GET /v2/jobs/{id} until the job reaches a terminal state or
+// ctx ends, backing off exponentially: the first retry comes after roughly
+// poll/16 (at least 1ms), each later one doubles, and the delay is capped
+// at poll (default 100ms) — so short jobs resolve in a few milliseconds
+// while long solves cost one request per poll interval, not sixteen. A
+// ±25% jitter decorrelates concurrent waiters. The terminal job is
 // returned as-is; inspect State and Err.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*Job, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
-	ticker := time.NewTicker(poll)
-	defer ticker.Stop()
+	delay := poll / 16
+	if delay < time.Millisecond {
+		delay = time.Millisecond
+	}
 	for {
 		job, err := c.GetJob(ctx, id)
 		if err != nil {
@@ -292,10 +318,18 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 		if job.Terminal() {
 			return job, nil
 		}
-		select {
-		case <-ctx.Done():
-			return job, ctx.Err()
-		case <-ticker.C:
+		d := delay + time.Duration(rand.Int64N(int64(delay)/2+1)) - delay/4
+		if d > poll {
+			d = poll
+		}
+		if err := c.sleep(ctx, d); err != nil {
+			return job, err
+		}
+		if delay < poll {
+			delay *= 2
+			if delay > poll {
+				delay = poll
+			}
 		}
 	}
 }
@@ -337,6 +371,144 @@ func (c *Client) ExecuteAsync(ctx context.Context, req ExecuteRequest, poll time
 		return nil, fmt.Errorf("plandclient: job %s ended %s", final.ID, final.State)
 	}
 	return final.ExecuteResult()
+}
+
+// SessionCreateRequest is the body of POST /v2/sessions.
+type SessionCreateRequest struct {
+	// Capacity is the reducer capacity q. Required.
+	Capacity assign.Size `json:"capacity"`
+	// Sizes optionally seeds the session with an initial A2A instance.
+	Sizes []assign.Size `json:"sizes,omitempty"`
+	// MigrationBudget, RebuildThreshold, and Headroom tune the maintenance
+	// layer; zero keeps each server default.
+	MigrationBudget  assign.Size `json:"migration_budget,omitempty"`
+	RebuildThreshold float64     `json:"rebuild_threshold,omitempty"`
+	Headroom         assign.Size `json:"headroom,omitempty"`
+	// TimeoutMS and NoCache shape the session's replans.
+	TimeoutMS int  `json:"timeout_ms,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+}
+
+// Session is the wire view of one live session.
+type Session struct {
+	ID    string              `json:"id"`
+	Stats assign.SessionStats `json:"stats"`
+	// Schema, IDs, and Sizes are present on create and GET: the schema over
+	// dense input indexes plus the mapping to the session's stable IDs.
+	Schema *assign.MappingSchema `json:"schema,omitempty"`
+	IDs    []int                 `json:"ids,omitempty"`
+	Sizes  []assign.Size         `json:"sizes,omitempty"`
+	// RebuildJobID, when set, is a rebuild running on the v2 job queue;
+	// poll it with GetJob/WaitJob.
+	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+}
+
+// SessionDelta is one delta of an UpdateSession batch; build with AddDelta,
+// RemoveDelta, and ResizeDelta.
+type SessionDelta struct {
+	Op   string      `json:"op"`
+	Size assign.Size `json:"size,omitempty"`
+	ID   *int        `json:"id,omitempty"`
+}
+
+// AddDelta inserts a new input of the given size.
+func AddDelta(size assign.Size) SessionDelta { return SessionDelta{Op: "add", Size: size} }
+
+// RemoveDelta deletes the identified input.
+func RemoveDelta(id int) SessionDelta { return SessionDelta{Op: "remove", ID: &id} }
+
+// ResizeDelta changes the identified input's size.
+func ResizeDelta(id int, size assign.Size) SessionDelta {
+	return SessionDelta{Op: "resize", Size: size, ID: &id}
+}
+
+// SessionDeltaResult reports one delta of a batch: the applied repair's
+// price, or the error that stopped the batch.
+type SessionDeltaResult struct {
+	assign.DeltaReport
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// Err converts a failed delta's error payload into an *APIError (nil when
+// the delta was applied).
+func (r *SessionDeltaResult) Err() error {
+	if r.Error == nil {
+		return nil
+	}
+	return &APIError{Code: r.Error.Code, Message: r.Error.Message}
+}
+
+// SessionPatchResult is the answer of PATCH /v2/sessions/{id}.
+type SessionPatchResult struct {
+	// Applied counts the deltas that succeeded; processing stops at the
+	// first failure, whose result carries the error.
+	Applied int                  `json:"applied"`
+	Results []SessionDeltaResult `json:"results"`
+	Stats   assign.SessionStats  `json:"stats"`
+	// RebuildJobID is set when this batch pushed drift past the threshold
+	// and scheduled a background rebuild.
+	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+}
+
+// SessionList is the answer of GET /v2/sessions.
+type SessionList struct {
+	Sessions []Session `json:"sessions"`
+	Count    int       `json:"count"`
+	Limit    int       `json:"limit"`
+}
+
+// CreateSession opens a live session via POST /v2/sessions. A server at its
+// session limit surfaces as an *APIError with CodeSessionLimit.
+func (c *Client) CreateSession(ctx context.Context, req SessionCreateRequest) (*Session, error) {
+	var out Session
+	if err := c.do(ctx, http.MethodPost, "/v2/sessions", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ListSessions lists the live sessions via GET /v2/sessions.
+func (c *Client) ListSessions(ctx context.Context) (*SessionList, error) {
+	var out SessionList
+	if err := c.do(ctx, http.MethodGet, "/v2/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetSession fetches a session's current schema and drift stats.
+func (c *Client) GetSession(ctx context.Context, id string) (*Session, error) {
+	var out Session
+	if err := c.do(ctx, http.MethodGet, "/v2/sessions/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// UpdateSession applies a delta batch via PATCH /v2/sessions/{id}. The call
+// succeeds even when a delta fails mid-batch — check Applied and the last
+// result's Err.
+func (c *Client) UpdateSession(ctx context.Context, id string, deltas ...SessionDelta) (*SessionPatchResult, error) {
+	body := struct {
+		Deltas []SessionDelta `json:"deltas"`
+	}{Deltas: deltas}
+	var out SessionPatchResult
+	if err := c.do(ctx, http.MethodPatch, "/v2/sessions/"+id, body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSession closes a session via DELETE /v2/sessions/{id}.
+func (c *Client) DeleteSession(ctx context.Context, id string) (*Session, error) {
+	var out Session
+	if err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // do performs one round trip: JSON request body (when non-nil), JSON

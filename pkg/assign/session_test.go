@@ -1,0 +1,158 @@
+package assign_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/pkg/assign"
+)
+
+// validateSession checks the session's live schema with the core validator.
+func validateSession(t *testing.T, s *assign.Session) {
+	t.Helper()
+	snap := s.Snapshot()
+	if len(snap.IDs) == 0 {
+		return
+	}
+	set, err := assign.NewInputSet(snap.Sizes)
+	if err != nil {
+		t.Fatalf("snapshot sizes: %v", err)
+	}
+	if err := snap.Schema.ValidateA2A(set); err != nil {
+		t.Fatalf("session schema invalid: %v", err)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ctx := context.Background()
+	s, err := assign.NewSession(ctx,
+		assign.A2A([]assign.Size{5, 3, 7, 2, 6, 4}),
+		assign.Capacity(20),
+		assign.Deterministic(),
+		assign.ManualRebuild(),
+	)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	validateSession(t, s)
+
+	id, rep, err := s.Add(8)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if id != 6 || rep.MovedBytes == 0 {
+		t.Fatalf("Add returned id=%d rep=%+v", id, rep)
+	}
+	validateSession(t, s)
+	if _, err := s.Resize(id, 3); err != nil {
+		t.Fatalf("Resize: %v", err)
+	}
+	if _, err := s.Remove(0); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	validateSession(t, s)
+
+	st := s.Stats()
+	if st.Inputs != 6 || st.Adds != 1 || st.Removes != 1 || st.Resizes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := s.Remove(99); !errors.Is(err, assign.ErrUnknownID) {
+		t.Fatalf("Remove unknown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := s.Add(1); !errors.Is(err, assign.ErrSessionClosed) {
+		t.Fatalf("Add after Close: %v", err)
+	}
+}
+
+func TestSessionManualRebuild(t *testing.T) {
+	ctx := context.Background()
+	// An isolated planner so the test does not share the process cache.
+	pl := assign.NewPlanner(assign.PlannerConfig{})
+	s, err := pl.NewSession(ctx,
+		assign.A2A([]assign.Size{5, 5, 5, 5, 5, 5}),
+		assign.Capacity(20),
+		assign.Deterministic(),
+		assign.ManualRebuild(),
+		assign.RebuildThreshold(0.1),
+	)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	next := 6
+	for i := 0; i < 60 && !s.NeedsRebuild(); i++ {
+		if _, err := s.Remove(next - 6); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		if _, _, err := s.Add(5); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+		next++
+	}
+	if !s.NeedsRebuild() {
+		t.Fatalf("drift never passed the threshold: %+v", s.Stats())
+	}
+	rep, err := s.Rebuild(ctx)
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if rep.ReducersAfter == 0 {
+		t.Fatalf("rebuild report = %+v", rep)
+	}
+	validateSession(t, s)
+	if st := s.Stats(); st.Rebuilds != 1 || st.NeedsRebuild {
+		t.Fatalf("stats after rebuild = %+v", st)
+	}
+}
+
+func TestSessionOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := assign.NewSession(ctx, assign.A2A([]assign.Size{1, 2})); err == nil {
+		t.Fatal("missing capacity accepted")
+	}
+	if _, err := assign.NewSession(ctx,
+		assign.X2Y([]assign.Size{1}, []assign.Size{2}), assign.Capacity(10)); err == nil {
+		t.Fatal("X2Y session accepted")
+	}
+	if _, err := assign.NewSession(ctx,
+		assign.A2A([]assign.Size{8, 8}), assign.Capacity(10)); !errors.Is(err, assign.ErrInfeasible) {
+		t.Fatalf("pairwise-infeasible initial instance: err = %v", err)
+	}
+	// A session needs no initial instance at all.
+	s, err := assign.NewSession(ctx, assign.Capacity(10), assign.ManualRebuild())
+	if err != nil {
+		t.Fatalf("empty session: %v", err)
+	}
+	defer s.Close()
+	if _, _, err := s.Add(4); err != nil {
+		t.Fatalf("Add to empty session: %v", err)
+	}
+	validateSession(t, s)
+}
+
+// TestSessionFromPayloads derives the initial sizes from concrete payloads,
+// mirroring how Execute-oriented callers open sessions.
+func TestSessionFromPayloads(t *testing.T) {
+	s, err := assign.NewSession(context.Background(),
+		assign.Inputs([][]byte{[]byte("aaaa"), []byte("bb"), []byte("cccccc")}),
+		assign.Capacity(16),
+		assign.ManualRebuild(),
+	)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+	snap := s.Snapshot()
+	want := []assign.Size{4, 2, 6}
+	for i, w := range want {
+		if snap.Sizes[i] != w {
+			t.Fatalf("sizes = %v, want %v", snap.Sizes, want)
+		}
+	}
+	validateSession(t, s)
+}
