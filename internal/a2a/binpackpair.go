@@ -3,6 +3,7 @@ package a2a
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/binpack"
 	"repro/internal/core"
@@ -46,20 +47,54 @@ func BinPackPair(set *core.InputSet, q core.Size, policy binpack.Policy) (*core.
 }
 
 // pairBins assembles the schema that assigns every pair of the given bins to
-// one reducer (or a single reducer if there is only one bin).
+// one reducer (or a single reducer if there is only one bin). Each bin is
+// sorted and priced once up front; a reducer is then a linear merge of its
+// two bins with the loads pre-summed, instead of a per-reducer re-sort and
+// size recomputation — with b bins that turns b(b-1)/2 sorts into b.
 func pairBins(set *core.InputSet, q core.Size, algorithm string, bins []binpack.Bin) *core.MappingSchema {
 	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q, Algorithm: algorithm}
 	if len(bins) == 1 {
 		ms.AddReducerA2A(set, bins[0].Items)
 		return ms
 	}
+	sorted := make([][]int, len(bins))
+	loads := make([]core.Size, len(bins))
+	for i, bin := range bins {
+		ids := append([]int(nil), bin.Items...)
+		sort.Ints(ids)
+		sorted[i] = ids
+		for _, id := range ids {
+			loads[i] += set.Size(id)
+		}
+	}
+	ms.Reducers = make([]core.Reducer, 0, len(bins)*(len(bins)-1)/2)
 	for a := 0; a < len(bins); a++ {
 		for b := a + 1; b < len(bins); b++ {
-			ids := append(append([]int(nil), bins[a].Items...), bins[b].Items...)
-			ms.AddReducerA2A(set, ids)
+			ms.Reducers = append(ms.Reducers, core.Reducer{
+				Inputs: mergeSortedIDs(sorted[a], sorted[b]),
+				Load:   loads[a] + loads[b],
+			})
 		}
 	}
 	return ms
+}
+
+// mergeSortedIDs merges two ascending, disjoint ID slices into a fresh
+// ascending slice.
+func mergeSortedIDs(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // BinPackPairReducerCount predicts the number of reducers BinPackPair will

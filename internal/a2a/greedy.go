@@ -26,26 +26,27 @@ func Greedy(set *core.InputSet, q core.Size) (*core.MappingSchema, error) {
 	cov := newCoverage(m)
 	ms := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q, Algorithm: algorithm}
 
+	memberSet := core.GetCoverSet(m)
+	defer core.PutCoverSet(memberSet)
 	for cov.remaining > 0 {
 		i, j := cov.firstUncovered()
 		members := []int{i, j}
-		inReducer := make([]bool, m)
-		inReducer[i], inReducer[j] = true, true
+		memberSet.Clear()
+		memberSet.Add(i)
+		memberSet.Add(j)
 		load := set.Size(i) + set.Size(j)
 		cov.cover(i, j)
 
 		for {
 			best, bestGain := -1, 0
 			for x := 0; x < m; x++ {
-				if inReducer[x] || load+set.Size(x) > q {
+				if memberSet.Contains(x) || load+set.Size(x) > q {
 					continue
 				}
-				gain := 0
-				for _, y := range members {
-					if !cov.covered(x, y) {
-						gain++
-					}
-				}
+				// The candidate's gain is how many current members it is not
+				// yet covered with: |members \ coveredWith(x)|, one popcount
+				// over the bitset rows instead of a per-member scan.
+				gain := memberSet.CountAndNot(cov.row(x))
 				if gain > bestGain {
 					best, bestGain = x, gain
 				}
@@ -57,7 +58,7 @@ func Greedy(set *core.InputSet, q core.Size) (*core.MappingSchema, error) {
 				cov.cover(best, y)
 			}
 			members = append(members, best)
-			inReducer[best] = true
+			memberSet.Add(best)
 			load += set.Size(best)
 		}
 		ms.AddReducerA2A(set, members)
@@ -65,38 +66,48 @@ func Greedy(set *core.InputSet, q core.Size) (*core.MappingSchema, error) {
 	return ms, nil
 }
 
-// coverage tracks which unordered pairs of 0..m-1 are already covered.
+// coverage tracks which unordered pairs of 0..m-1 are already covered, as
+// one symmetric bitset row per input: rows[i] holds every j already covered
+// with i. Rows make the greedy gain computation a popcount and the
+// first-uncovered scans word-at-a-time.
 type coverage struct {
 	m         int
-	covered2  []bool
+	rows      []core.CoverSet
 	remaining int
 	// cursor speeds up firstUncovered scans: pairs before it are covered.
 	cursorI, cursorJ int
 }
 
 func newCoverage(m int) *coverage {
+	rows := make([]core.CoverSet, m)
+	for i := range rows {
+		rows[i].Reset(m)
+	}
 	return &coverage{
 		m:         m,
-		covered2:  make([]bool, m*m),
+		rows:      rows,
 		remaining: m * (m - 1) / 2,
 		cursorI:   0,
 		cursorJ:   1,
 	}
 }
 
+// row exposes input i's covered-with row for bitset queries.
+func (c *coverage) row(i int) *core.CoverSet { return &c.rows[i] }
+
 func (c *coverage) covered(i, j int) bool {
 	if i == j {
 		return true
 	}
-	return c.covered2[i*c.m+j]
+	return c.rows[i].Contains(j)
 }
 
 func (c *coverage) cover(i, j int) {
-	if i == j || c.covered2[i*c.m+j] {
+	if i == j || c.rows[i].Contains(j) {
 		return
 	}
-	c.covered2[i*c.m+j] = true
-	c.covered2[j*c.m+i] = true
+	c.rows[i].Add(j)
+	c.rows[j].Add(i)
 	c.remaining--
 }
 
@@ -104,11 +115,11 @@ func (c *coverage) cover(i, j int) {
 // backtracking; note that it does not adjust the scan cursor, so callers that
 // uncover must use firstUncoveredFrom rather than firstUncovered.
 func (c *coverage) uncover(i, j int) {
-	if i == j || !c.covered2[i*c.m+j] {
+	if i == j || !c.rows[i].Contains(j) {
 		return
 	}
-	c.covered2[i*c.m+j] = false
-	c.covered2[j*c.m+i] = false
+	c.rows[i].Remove(j)
+	c.rows[j].Remove(i)
 	c.remaining++
 }
 
@@ -117,11 +128,11 @@ func (c *coverage) uncover(i, j int) {
 func (c *coverage) firstUncoveredFrom(i0, j0 int) (int, int) {
 	i, j := i0, j0
 	for i < c.m {
-		for j < c.m {
-			if !c.covered2[i*c.m+j] {
-				return i, j
-			}
-			j++
+		if j < i+1 {
+			j = i + 1
+		}
+		if next := c.rows[i].NextAbsent(j); next < c.m {
+			return i, next
 		}
 		i++
 		j = i + 1
@@ -132,18 +143,7 @@ func (c *coverage) firstUncoveredFrom(i0, j0 int) (int, int) {
 // firstUncovered returns the lexicographically first uncovered pair. It must
 // only be called when remaining > 0.
 func (c *coverage) firstUncovered() (int, int) {
-	i, j := c.cursorI, c.cursorJ
-	for i < c.m {
-		for j < c.m {
-			if !c.covered2[i*c.m+j] {
-				c.cursorI, c.cursorJ = i, j
-				return i, j
-			}
-			j++
-		}
-		i++
-		j = i + 1
-	}
-	// Unreachable when remaining > 0; keep the compiler happy.
-	return 0, 1
+	i, j := c.firstUncoveredFrom(c.cursorI, c.cursorJ)
+	c.cursorI, c.cursorJ = i, j
+	return i, j
 }

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// CoverSet is a fixed-universe bitset over input (or reducer) indexes
+// 0..n-1, backed by a []uint64 with popcount-based cardinality. It is the
+// internal representation of the hot paths that previously walked sorted
+// slices pair-by-pair: solver coverage rows, the executor's per-input reducer
+// membership, and the stream session's assignment tests. Sorted slices remain
+// the exchange type on every public surface; CoverSets are rebuilt from them
+// at the boundary.
+//
+// The zero value is an empty set over a zero universe; use NewCoverSet or
+// Reset to size one. Methods never allocate except NewCoverSet, Reset and
+// Grow.
+type CoverSet struct {
+	words []uint64
+	n     int
+}
+
+// NewCoverSet returns an empty set over the universe 0..n-1.
+func NewCoverSet(n int) *CoverSet {
+	if n < 0 {
+		n = 0
+	}
+	return &CoverSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size n.
+func (s *CoverSet) Len() int { return s.n }
+
+// Reset re-sizes the set to the universe 0..n-1 and clears every bit,
+// reusing the existing words when they are large enough.
+func (s *CoverSet) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+}
+
+// Grow extends the universe to at least n, preserving current members.
+func (s *CoverSet) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	w := (n + 63) / 64
+	if old := len(s.words); cap(s.words) >= w {
+		// Words beyond the old length may hold stale bits from before an
+		// earlier Reset to a smaller universe; clear what Grow re-exposes.
+		s.words = s.words[:w]
+		for i := old; i < w; i++ {
+			s.words[i] = 0
+		}
+	} else {
+		words := make([]uint64, w, w+w/2)
+		copy(words, s.words)
+		s.words = words
+	}
+	s.n = n
+}
+
+// Add sets bit i. Out-of-range indexes (including negatives) are ignored so
+// callers can feed defensively-filtered IDs without pre-checking.
+func (s *CoverSet) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove clears bit i.
+func (s *CoverSet) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Contains reports whether bit i is set.
+func (s *CoverSet) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the cardinality via popcount.
+func (s *CoverSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clear removes every member, keeping the universe size.
+func (s *CoverSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom makes s an exact copy of o (same universe, same members),
+// reusing s's storage when possible.
+func (s *CoverSet) CopyFrom(o *CoverSet) {
+	s.Reset(o.n)
+	copy(s.words, o.words)
+}
+
+// And intersects s with o in place. The universes must match in word count;
+// extra words of the larger operand are treated as absent (cleared).
+func (s *CoverSet) And(o *CoverSet) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &= o.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// Or unions o into s in place; members of o beyond s's universe are dropped.
+func (s *CoverSet) Or(o *CoverSet) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] |= o.words[i]
+	}
+	s.trim()
+}
+
+// AndNot removes every member of o from s in place.
+func (s *CoverSet) AndNot(o *CoverSet) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// trim clears the tail bits beyond n in the last word, which Or can set when
+// o's universe is larger than a word-aligned s. Kept cheap: one mask.
+func (s *CoverSet) trim() {
+	if r := uint(s.n) & 63; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Intersects reports whether s and o share a member, short-circuiting on the
+// first common word.
+func (s *CoverSet) Intersects(o *CoverSet) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectMin returns the smallest common member of s and o, or -1 when the
+// sets are disjoint. This is owner election: the lowest-indexed reducer two
+// inputs share.
+func (s *CoverSet) IntersectMin(o *CoverSet) int {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if w := s.words[i] & o.words[i]; w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// CountAndNot returns |s \ o| without materializing the difference.
+func (s *CoverSet) CountAndNot(o *CoverSet) int {
+	c := 0
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] &^ o.words[i])
+	}
+	for i := n; i < len(s.words); i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	return c
+}
+
+// CountAnd returns |s ∩ o| without materializing the intersection.
+func (s *CoverSet) CountAnd(o *CoverSet) int {
+	c := 0
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// ForEach calls fn for every member in ascending order.
+func (s *CoverSet) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// ForEachAnd calls fn for every member of s ∩ o in ascending order.
+func (s *CoverSet) ForEachAnd(o *CoverSet, fn func(i int)) {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for wi := 0; wi < n; wi++ {
+		for w := s.words[wi] & o.words[wi]; w != 0; w &= w - 1 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// NextAbsent returns the smallest index >= from that is NOT a member, or n
+// when every index from from..n-1 is set. Solver coverage rows use it to
+// find the first uncovered partner.
+func (s *CoverSet) NextAbsent(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return s.n
+	}
+	wi := from >> 6
+	// Mask off bits below from, then look for a zero bit.
+	w := ^s.words[wi] &^ ((1 << (uint(from) & 63)) - 1)
+	for {
+		if w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			if i >= s.n {
+				return s.n
+			}
+			return i
+		}
+		wi++
+		if wi >= len(s.words) {
+			return s.n
+		}
+		w = ^s.words[wi]
+	}
+}
+
+// NextPresent returns the smallest member >= from, or n when there is none.
+func (s *CoverSet) NextPresent(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return s.n
+	}
+	wi := from >> 6
+	w := s.words[wi] &^ ((1 << (uint(from) & 63)) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+		wi++
+		if wi >= len(s.words) {
+			return s.n
+		}
+		w = s.words[wi]
+	}
+}
+
+// AppendMembers appends the members in ascending order to dst and returns it,
+// converting the bitset back to the sorted-slice exchange representation.
+func (s *CoverSet) AppendMembers(dst []int) []int {
+	for wi, w := range s.words {
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
+		}
+	}
+	return dst
+}
+
+// AddAll sets every listed bit (out-of-range indexes ignored).
+func (s *CoverSet) AddAll(ids []int) {
+	for _, id := range ids {
+		s.Add(id)
+	}
+}
+
+// coverSetPool recycles CoverSets used as per-call scratch, so steady-state
+// planning and auditing allocate near-zero per call. Sets come out of the
+// pool with arbitrary stale universe; callers must Reset before use.
+var coverSetPool = sync.Pool{New: func() any { return new(CoverSet) }}
+
+// GetCoverSet returns a cleared scratch CoverSet over 0..n-1 from the pool.
+// Release it with PutCoverSet when done; using it after release is a race.
+func GetCoverSet(n int) *CoverSet {
+	s := coverSetPool.Get().(*CoverSet)
+	s.Reset(n)
+	return s
+}
+
+// PutCoverSet returns a scratch CoverSet to the pool.
+func PutCoverSet(s *CoverSet) {
+	if s != nil {
+		coverSetPool.Put(s)
+	}
+}

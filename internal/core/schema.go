@@ -204,16 +204,15 @@ func (ms *MappingSchema) checkLoad(r int, red Reducer) error {
 	return nil
 }
 
-// pairSet tracks coverage of unordered pairs over m items using a triangular
-// bitmap.
+// pairSet tracks coverage of unordered pairs over m items: a CoverSet over
+// the strictly-upper-triangle offsets, so cardinality is a popcount.
 type pairSet struct {
 	m    int
-	bits []uint64
+	bits *CoverSet
 }
 
 func newPairSet(m int) *pairSet {
-	n := m * (m - 1) / 2
-	return &pairSet{m: m, bits: make([]uint64, (n+63)/64)}
+	return &pairSet{m: m, bits: NewCoverSet(m * (m - 1) / 2)}
 }
 
 // index maps the unordered pair (i, j), i < j, to a dense offset.
@@ -229,22 +228,12 @@ func (p *pairSet) add(i, j int) {
 	if i == j {
 		return
 	}
-	idx := p.index(i, j)
-	p.bits[idx/64] |= 1 << (uint(idx) % 64)
+	p.bits.Add(p.index(i, j))
 }
 
 func (p *pairSet) has(i, j int) bool {
-	idx := p.index(i, j)
-	return p.bits[idx/64]&(1<<(uint(idx)%64)) != 0
+	return p.bits.Contains(p.index(i, j))
 }
 
 // count returns the number of covered pairs.
-func (p *pairSet) count() int {
-	c := 0
-	for _, w := range p.bits {
-		for ; w != 0; w &= w - 1 {
-			c++
-		}
-	}
-	return c
-}
+func (p *pairSet) count() int { return p.bits.Count() }

@@ -122,7 +122,7 @@ func TestAuditFlagsLoadMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Compile the real expected loads, then perturb the measured counters.
-	c, err := compile(Request{Name: "loads", Schema: ms, Inputs: makeInputs(set.Sizes()), Pair: pairIDs})
+	c, err := compile(Request{Name: "loads", Schema: ms, Inputs: makeInputs(set.Sizes()), Pair: pairIDs}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // BatchOptions tunes RunBatch.
@@ -36,6 +38,7 @@ func RunBatch(ctx context.Context, reqs []Request, opts BatchOptions) ([]*Result
 	}
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
+	shared := sharedIndexes(reqs)
 
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -44,7 +47,7 @@ func RunBatch(ctx context.Context, reqs []Request, opts BatchOptions) ([]*Result
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := Run(reqs[i])
+				res, err := run(reqs[i], shared[i])
 				if err != nil {
 					errs[i] = fmt.Errorf("exec: batch job %d (%q): %w", i, reqs[i].Name, err)
 					continue
@@ -67,4 +70,62 @@ dispatch:
 	close(idx)
 	wg.Wait()
 	return results, errors.Join(errs...)
+}
+
+// indexKey identifies a reusable schema index: the schema identity plus the
+// instance shape the assignments were derived for.
+type indexKey struct {
+	schema           *core.MappingSchema
+	numA, numX, numY int
+}
+
+// sharedIndexes builds, once per (schema, shape) that more than one job
+// uses, the schema index those jobs share — service-style batches typically
+// run many jobs against one planned schema, and rebuilding the per-input
+// assignment rows per job dominated small-job batch profiles. Jobs with a
+// unique schema keep compiling their index inside the worker pool, so
+// all-distinct batches lose no parallelism. The result is aligned with
+// reqs; entries are nil for jobs that compile their own index (unique
+// schema, no schema, bad ID ranges, ...) and compile reports any error with
+// the job name attached.
+func sharedIndexes(reqs []Request) []*schemaIndex {
+	keys := make([]indexKey, len(reqs))
+	uses := make(map[indexKey]int)
+	for i := range reqs {
+		schema := reqs[i].schema()
+		if schema == nil {
+			continue
+		}
+		switch schema.Problem {
+		case core.ProblemA2A:
+			keys[i] = indexKey{schema: schema, numA: len(reqs[i].Inputs)}
+		case core.ProblemX2Y:
+			keys[i] = indexKey{schema: schema, numX: len(reqs[i].XInputs), numY: len(reqs[i].YInputs)}
+		default:
+			continue
+		}
+		uses[keys[i]]++
+	}
+	built := make(map[indexKey]*schemaIndex)
+	out := make([]*schemaIndex, len(reqs))
+	for i, key := range keys {
+		if key.schema == nil || uses[key] < 2 {
+			continue
+		}
+		sh, ok := built[key]
+		if !ok {
+			var err error
+			if key.schema.Problem == core.ProblemA2A {
+				sh, err = newSchemaIndexA2A(key.schema, key.numA)
+			} else {
+				sh, err = newSchemaIndexX2Y(key.schema, key.numX, key.numY)
+			}
+			if err != nil {
+				sh = nil
+			}
+			built[key] = sh
+		}
+		out[i] = sh
+	}
+	return out
 }

@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// auditorFixture builds an m-input A2A schema, its auditor, and a correct
+// trace (every required pair recorded once at its owner), so the benchmarks
+// time pure verification: PreCheck owner existence plus CheckTrace replay.
+func auditorFixture(b *testing.B, m int) (*Auditor, *Trace) {
+	b.Helper()
+	sizes, err := workload.Sizes(workload.SizeSpec{Dist: workload.Uniform, Min: 1, Max: 64}, m, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := core.MustNewInputSet(sizes)
+	ms, err := a2a.Solve(set, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aud, err := NewAuditor(ms, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The dense trace is what compiled runs produce; fabricated map traces
+	// (NewTrace) only serve tests probing the auditor itself.
+	tr := newTriTrace(m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			tr.Record(aud.Owner(i, j), i, j)
+		}
+	}
+	return aud, tr
+}
+
+// BenchmarkAuditorVerify times one full conformance verification of an
+// m-input schema: PreCheck (every pair has an owner, loads within q) plus
+// CheckTrace (every pair processed exactly once, at its owner). This is the
+// inner loop of every audited execution and of the stream hammer.
+func BenchmarkAuditorVerify(b *testing.B) {
+	for _, m := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			aud, tr := auditorFixture(b, m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := aud.PreCheck(); err != nil {
+					b.Fatal(err)
+				}
+				if err := aud.CheckTrace(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAuditorOwner isolates owner election — the per-pair primitive the
+// verification loops and the execution reducers spend their time in.
+func BenchmarkAuditorOwner(b *testing.B) {
+	aud, _ := auditorFixture(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if aud.Owner(i%999, 999) < 0 {
+			b.Fatal("uncovered pair")
+		}
+	}
+}

@@ -90,7 +90,14 @@ func (r *Request) schema() *core.MappingSchema {
 // NoAudit is set — audits the run against the schema. See the package
 // documentation for the compilation contract.
 func Run(req Request) (*Result, error) {
-	c, err := compile(req)
+	return run(req, nil)
+}
+
+// run is Run with an optional pre-built schema index (RunBatch hoists index
+// construction for jobs that share one schema); a nil or mismatched index is
+// ignored and compiled per call.
+func run(req Request, shared *schemaIndex) (*Result, error) {
+	c, err := compile(req, shared)
 	if err != nil {
 		return nil, err
 	}
@@ -127,15 +134,17 @@ type compilation struct {
 	req     Request
 	schema  *core.MappingSchema
 	records [][]byte
+	idx     *schemaIndex
 	auditor *Auditor
 	trace   *Trace
 	// expectedLoads is the byte image of the schema's routing per reducer.
 	expectedLoads []int64
 }
 
-// compile validates the request and derives records, assignments, the
-// auditor, and the engine job.
-func compile(req Request) (*compilation, error) {
+// compile validates the request and derives records, the schema index (or
+// adopts the shared one when it matches this schema and shape), the auditor,
+// and the engine job.
+func compile(req Request, shared *schemaIndex) (*compilation, error) {
 	schema := req.schema()
 	if schema == nil {
 		return nil, fmt.Errorf("%w (job %q)", ErrNoSchema, req.Name)
@@ -143,19 +152,29 @@ func compile(req Request) (*compilation, error) {
 	if req.Pair == nil {
 		return nil, fmt.Errorf("%w (job %q)", ErrNoPairFunc, req.Name)
 	}
-	c := &compilation{req: req, schema: schema, trace: NewTrace()}
+	c := &compilation{req: req, schema: schema}
 	var err error
 	switch schema.Problem {
 	case core.ProblemA2A:
 		if len(req.Inputs) == 0 || req.XInputs != nil || req.YInputs != nil {
 			return nil, fmt.Errorf("%w: A2A jobs take Inputs only (job %q)", ErrBadInputs, req.Name)
 		}
-		c.auditor, err = NewAuditor(schema, len(req.Inputs))
+		if shared.matches(schema, len(req.Inputs), 0, 0) {
+			c.idx = shared
+		} else {
+			c.idx, err = newSchemaIndexA2A(schema, len(req.Inputs))
+		}
+		c.trace = newTriTrace(len(req.Inputs))
 	case core.ProblemX2Y:
 		if len(req.XInputs) == 0 || len(req.YInputs) == 0 || req.Inputs != nil {
 			return nil, fmt.Errorf("%w: X2Y jobs take XInputs and YInputs (job %q)", ErrBadInputs, req.Name)
 		}
-		c.auditor, err = NewAuditorX2Y(schema, len(req.XInputs), len(req.YInputs))
+		if shared.matches(schema, 0, len(req.XInputs), len(req.YInputs)) {
+			c.idx = shared
+		} else {
+			c.idx, err = newSchemaIndexX2Y(schema, len(req.XInputs), len(req.YInputs))
+		}
+		c.trace = newDenseTrace(len(req.XInputs), len(req.YInputs))
 	default:
 		return nil, fmt.Errorf("exec: unknown problem %v (job %q)", schema.Problem, req.Name)
 	}
@@ -164,7 +183,7 @@ func compile(req Request) (*compilation, error) {
 	}
 	c.buildRecords()
 	c.computeExpectedLoads()
-	c.auditor.expectedLoads = c.expectedLoads
+	c.auditor = &Auditor{idx: c.idx, expectedLoads: c.expectedLoads}
 	return c, nil
 }
 
@@ -227,20 +246,20 @@ func (c *compilation) buildRecords() {
 func (c *compilation) assignmentsFor(side byte, id int) ([]int, error) {
 	switch side {
 	case sideA:
-		if c.schema.Problem != core.ProblemA2A || id < 0 || id >= len(c.auditor.aAssign) {
+		if c.schema.Problem != core.ProblemA2A || id < 0 || id >= len(c.idx.aAssign) {
 			return nil, fmt.Errorf("exec: record side %q ID %d out of range", side, id)
 		}
-		return c.auditor.aAssign[id], nil
+		return c.idx.aAssign[id], nil
 	case sideX:
-		if c.schema.Problem != core.ProblemX2Y || id < 0 || id >= len(c.auditor.xAssign) {
+		if c.schema.Problem != core.ProblemX2Y || id < 0 || id >= len(c.idx.xAssign) {
 			return nil, fmt.Errorf("exec: record side %q ID %d out of range", side, id)
 		}
-		return c.auditor.xAssign[id], nil
+		return c.idx.xAssign[id], nil
 	case sideY:
-		if c.schema.Problem != core.ProblemX2Y || id < 0 || id >= len(c.auditor.yAssign) {
+		if c.schema.Problem != core.ProblemX2Y || id < 0 || id >= len(c.idx.yAssign) {
 			return nil, fmt.Errorf("exec: record side %q ID %d out of range", side, id)
 		}
-		return c.auditor.yAssign[id], nil
+		return c.idx.yAssign[id], nil
 	default:
 		return nil, fmt.Errorf("exec: unknown record side %q", side)
 	}
@@ -263,10 +282,10 @@ func (c *compilation) computeExpectedLoads() {
 		}
 	}
 	if c.schema.Problem == core.ProblemA2A {
-		add(c.auditor.aAssign, sideA, c.req.Inputs)
+		add(c.idx.aAssign, sideA, c.req.Inputs)
 	} else {
-		add(c.auditor.xAssign, sideX, c.req.XInputs)
-		add(c.auditor.yAssign, sideY, c.req.YInputs)
+		add(c.idx.xAssign, sideX, c.req.XInputs)
+		add(c.idx.yAssign, sideY, c.req.YInputs)
 	}
 	c.expectedLoads = loads
 }

@@ -62,6 +62,7 @@ func (s *Session) Add(size core.Size) (InputID, DeltaReport, error) {
 	s.next++
 	s.sizes[id] = size
 	s.assign[id] = nil
+	s.assignBits[id] = core.NewCoverSet(len(s.reds))
 	s.ids = append(s.ids, id) // IDs are monotonic, so append keeps the order
 	s.total += size
 	s.noteSizeLocked(size)
@@ -98,6 +99,7 @@ func (s *Session) Remove(id InputID) (DeltaReport, error) {
 		}
 	}
 	delete(s.assign, id)
+	delete(s.assignBits, id)
 	delete(s.sizes, id)
 	s.total -= w
 	s.noteShrinkLocked(w)
@@ -213,7 +215,7 @@ func (s *Session) coverLocked(x InputID, untrusted map[InputID]struct{}, rep *De
 		seen := make(map[InputID]struct{})
 		for _, slot := range slots {
 			r := s.reds[slot]
-			if containsSorted(r.members, x) {
+			if s.inRedLocked(x, slot) {
 				continue
 			}
 			if r.load+w <= s.cfg.Capacity {
@@ -238,7 +240,7 @@ func (s *Session) coverLocked(x InputID, untrusted map[InputID]struct{}, rep *De
 			if _, skip := untrusted[m]; skip {
 				continue
 			}
-			if sharesReducer(s.assign[x], s.assign[m]) {
+			if s.sharesReducerLocked(x, m) {
 				continue
 			}
 			kept = append(kept, m)
@@ -333,10 +335,9 @@ func (s *Session) compactLocked(candidates []int, rep *DeltaReport) {
 		if bestTo < 0 {
 			continue
 		}
-		target := s.reds[bestTo]
 		var ship core.Size
 		for _, m := range r.members {
-			if !containsSorted(target.members, m) {
+			if !s.inRedLocked(m, bestTo) {
 				ship += s.sizes[m]
 			}
 		}
@@ -345,7 +346,8 @@ func (s *Session) compactLocked(candidates []int, rep *DeltaReport) {
 		}
 		for _, m := range r.members {
 			s.assign[m] = deleteSorted(s.assign[m], from)
-			if !containsSorted(target.members, m) {
+			s.assignBits[m].Remove(from)
+			if !s.inRedLocked(m, bestTo) {
 				s.addToRedLocked(m, bestTo)
 			}
 		}

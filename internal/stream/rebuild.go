@@ -132,6 +132,11 @@ func (s *Session) swapLocked(planned *core.MappingSchema, snapIDs []InputID) *Re
 	s.free = s.free[:0]
 	for _, id := range s.ids {
 		s.assign[id] = nil
+		if bits := s.assignBits[id]; bits != nil {
+			bits.Clear()
+		} else {
+			s.assignBits[id] = core.NewCoverSet(0)
+		}
 	}
 	for _, pr := range planned.Reducers {
 		ext := make([]InputID, 0, len(pr.Inputs))
@@ -217,8 +222,56 @@ func (s *Session) swapLocked(planned *core.MappingSchema, snapIDs []InputID) *Re
 // migrationCost estimates the bytes that must move to turn the old reducer
 // placement into the new one: each new reducer is greedily matched (largest
 // first) to the unused old reducer sharing the most bytes with it, and only
-// its unmatched bytes count as moved.
+// its unmatched bytes count as moved. Members are remapped onto a dense
+// universe (the union of all member IDs) so every reducer becomes one
+// CoverSet and overlap pricing is a word-parallel AND walk instead of a
+// merge over sorted external-ID slices.
 func migrationCost(before, after []*red, size func(InputID) core.Size) core.Size {
+	// Dense remap over the union of member IDs of both placements: register
+	// every ID first (the universe size must be final before any set is
+	// built), then build one bitset per reducer.
+	dense := make(map[InputID]int)
+	var denseSize []core.Size
+	register := func(reds []*red) {
+		for _, r := range reds {
+			if r == nil {
+				continue
+			}
+			for _, m := range r.members {
+				if _, ok := dense[m]; !ok {
+					dense[m] = len(denseSize)
+					denseSize = append(denseSize, size(m))
+				}
+			}
+		}
+	}
+	register(before)
+	register(after)
+	build := func(reds []*red) []*core.CoverSet {
+		sets := make([]*core.CoverSet, len(reds))
+		for i, r := range reds {
+			if r == nil {
+				continue
+			}
+			sets[i] = core.GetCoverSet(len(denseSize))
+			for _, m := range r.members {
+				sets[i].Add(dense[m])
+			}
+		}
+		return sets
+	}
+	beforeBits := build(before)
+	afterBits := build(after)
+	release := func(sets []*core.CoverSet) {
+		for _, s := range sets {
+			if s != nil {
+				core.PutCoverSet(s)
+			}
+		}
+	}
+	defer release(beforeBits)
+	defer release(afterBits)
+
 	newIdx := make([]int, 0, len(after))
 	for i, r := range after {
 		if r != nil {
@@ -235,25 +288,14 @@ func migrationCost(before, after []*red, size func(InputID) core.Size) core.Size
 	var moved core.Size
 	for _, ni := range newIdx {
 		nr := after[ni]
+		nb := afterBits[ni]
 		bestOld, bestOverlap := -1, core.Size(-1)
 		for oi, or := range before {
 			if or == nil || used[oi] {
 				continue
 			}
 			var overlap core.Size
-			i, j := 0, 0
-			for i < len(nr.members) && j < len(or.members) {
-				switch {
-				case nr.members[i] == or.members[j]:
-					overlap += size(nr.members[i])
-					i++
-					j++
-				case nr.members[i] < or.members[j]:
-					i++
-				default:
-					j++
-				}
-			}
+			nb.ForEachAnd(beforeBits[oi], func(d int) { overlap += denseSize[d] })
 			if overlap > bestOverlap {
 				bestOld, bestOverlap = oi, overlap
 			}

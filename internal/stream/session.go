@@ -101,8 +101,12 @@ type Session struct {
 	reds []*red
 	free []int
 	// assign maps each live input to the sorted slots of the reducers
-	// holding it.
-	assign map[InputID][]int
+	// holding it; assignBits mirrors it as a bitset over slot indexes, so
+	// membership ("is x already in this reducer?") and row-set coverage
+	// ("do x and m share a reducer?") are O(1) and word-parallel instead of
+	// sorted-slice searches and merge walks.
+	assign     map[InputID][]int
+	assignBits map[InputID]*core.CoverSet
 
 	// cursor rotates cover templates across the live inputs so arrivals
 	// spread over every reducer row instead of piling onto one.
@@ -134,9 +138,10 @@ func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 		return nil, errors.New("stream: Config.Replan is required")
 	}
 	s := &Session{
-		cfg:    cfg,
-		sizes:  make(map[InputID]core.Size),
-		assign: make(map[InputID][]int),
+		cfg:        cfg,
+		sizes:      make(map[InputID]core.Size),
+		assign:     make(map[InputID][]int),
+		assignBits: make(map[InputID]*core.CoverSet),
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	if len(cfg.Initial) == 0 {
@@ -165,6 +170,7 @@ func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 		snapIDs[i] = i
 		s.sizes[i] = w
 		s.assign[i] = nil
+		s.assignBits[i] = core.NewCoverSet(0)
 		s.ids = append(s.ids, i)
 		s.total += w
 	}
@@ -433,30 +439,16 @@ func deleteSorted(s []int, v int) []int {
 	return s
 }
 
-// containsSorted reports whether the ascending slice holds v.
-func containsSorted(s []int, v int) bool {
-	i := sort.SearchInts(s, v)
-	return i < len(s) && s[i] == v
+// sharesReducerLocked reports whether two live inputs share a reducer, as a
+// word-parallel intersection of their assignment bitsets.
+func (s *Session) sharesReducerLocked(a, b InputID) bool {
+	return s.assignBits[a].Intersects(s.assignBits[b])
 }
 
-// intersectsSorted reports whether two ascending slices share an element.
-func intersectsSorted(a, b []int) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			return true
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return false
+// inRedLocked reports whether input x is assigned to the reducer in slot.
+func (s *Session) inRedLocked(x InputID, slot int) bool {
+	return s.assignBits[x].Contains(slot)
 }
-
-// sharesReducer reports whether the two sorted assignment sets intersect.
-func sharesReducer(a, b []int) bool { return intersectsSorted(a, b) }
 
 // newRedLocked allocates a reducer slot.
 func (s *Session) newRedLocked() int {
@@ -477,6 +469,13 @@ func (s *Session) addToRedLocked(x InputID, slot int) {
 	r.members = insertSorted(r.members, x)
 	r.load += s.sizes[x]
 	s.assign[x] = insertSorted(s.assign[x], slot)
+	bits := s.assignBits[x]
+	if bits == nil {
+		bits = core.NewCoverSet(len(s.reds))
+		s.assignBits[x] = bits
+	}
+	bits.Grow(slot + 1)
+	bits.Add(slot)
 }
 
 // removeFromRedLocked drops input x from the reducer in slot, freeing the
@@ -486,6 +485,7 @@ func (s *Session) removeFromRedLocked(x InputID, slot int) {
 	r.members = deleteSorted(r.members, x)
 	r.load -= s.sizes[x]
 	s.assign[x] = deleteSorted(s.assign[x], slot)
+	s.assignBits[x].Remove(slot)
 	if len(r.members) == 0 {
 		s.reds[slot] = nil
 		s.free = append(s.free, slot)

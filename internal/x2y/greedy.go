@@ -18,54 +18,71 @@ func Greedy(xs, ys *core.InputSet, q core.Size) (*core.MappingSchema, error) {
 		return nil, err
 	}
 	nx, ny := xs.Len(), ys.Len()
-	covered := make([]bool, nx*ny)
+	// Coverage is kept in both orientations: rows[x] holds the covered Y
+	// partners of x, cols[y] the covered X partners of y, so each side's
+	// greedy gain is one popcount against the opposite member set.
+	rows := make([]core.CoverSet, nx)
+	for i := range rows {
+		rows[i].Reset(ny)
+	}
+	cols := make([]core.CoverSet, ny)
+	for i := range cols {
+		cols[i].Reset(nx)
+	}
 	remaining := nx * ny
+	cover := func(x, y int) {
+		if !rows[x].Contains(y) {
+			rows[x].Add(y)
+			cols[y].Add(x)
+			remaining--
+		}
+	}
+	xSet := core.GetCoverSet(nx)
+	ySet := core.GetCoverSet(ny)
+	defer core.PutCoverSet(xSet)
+	defer core.PutCoverSet(ySet)
 	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: q, Algorithm: algorithm}
 
-	cursor := 0
+	cursorX, cursorY := 0, 0
 	for remaining > 0 {
-		// Find the first uncovered cross pair.
-		for covered[cursor] {
-			cursor++
+		// Find the first uncovered cross pair in (x, y) lexicographic order.
+		x0, y0 := -1, -1
+		for x := cursorX; x < nx; x++ {
+			from := 0
+			if x == cursorX {
+				from = cursorY
+			}
+			if y := rows[x].NextAbsent(from); y < ny {
+				x0, y0 = x, y
+				break
+			}
 		}
-		x0, y0 := cursor/ny, cursor%ny
+		cursorX, cursorY = x0, y0
 		xMembers := []int{x0}
 		yMembers := []int{y0}
-		inX := make([]bool, nx)
-		inY := make([]bool, ny)
-		inX[x0], inY[y0] = true, true
+		xSet.Clear()
+		ySet.Clear()
+		xSet.Add(x0)
+		ySet.Add(y0)
 		load := xs.Size(x0) + ys.Size(y0)
-		covered[cursor] = true
-		remaining--
+		cover(x0, y0)
 
 		for {
 			bestSide, best, bestGain := 0, -1, 0
 			// Candidate X inputs gain one pair per uncovered (x, yMember).
 			for x := 0; x < nx; x++ {
-				if inX[x] || load+xs.Size(x) > q {
+				if xSet.Contains(x) || load+xs.Size(x) > q {
 					continue
 				}
-				gain := 0
-				for _, y := range yMembers {
-					if !covered[x*ny+y] {
-						gain++
-					}
-				}
-				if gain > bestGain {
+				if gain := ySet.CountAndNot(&rows[x]); gain > bestGain {
 					bestSide, best, bestGain = 0, x, gain
 				}
 			}
 			for y := 0; y < ny; y++ {
-				if inY[y] || load+ys.Size(y) > q {
+				if ySet.Contains(y) || load+ys.Size(y) > q {
 					continue
 				}
-				gain := 0
-				for _, x := range xMembers {
-					if !covered[x*ny+y] {
-						gain++
-					}
-				}
-				if gain > bestGain {
+				if gain := xSet.CountAndNot(&cols[y]); gain > bestGain {
 					bestSide, best, bestGain = 1, y, gain
 				}
 			}
@@ -74,23 +91,17 @@ func Greedy(xs, ys *core.InputSet, q core.Size) (*core.MappingSchema, error) {
 			}
 			if bestSide == 0 {
 				for _, y := range yMembers {
-					if !covered[best*ny+y] {
-						covered[best*ny+y] = true
-						remaining--
-					}
+					cover(best, y)
 				}
 				xMembers = append(xMembers, best)
-				inX[best] = true
+				xSet.Add(best)
 				load += xs.Size(best)
 			} else {
 				for _, x := range xMembers {
-					if !covered[x*ny+best] {
-						covered[x*ny+best] = true
-						remaining--
-					}
+					cover(x, best)
 				}
 				yMembers = append(yMembers, best)
-				inY[best] = true
+				ySet.Add(best)
 				load += ys.Size(best)
 			}
 		}

@@ -3,6 +3,7 @@ package x2y
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/binpack"
 	"repro/internal/core"
@@ -52,9 +53,32 @@ func GridSplit(xs, ys *core.InputSet, q, xShare core.Size, policy binpack.Policy
 		return nil, fmt.Errorf("x2y: packing Y side: %w", err)
 	}
 	ms := &core.MappingSchema{Problem: core.ProblemX2Y, Capacity: q, Algorithm: algorithm}
-	for _, xb := range xPack.Bins {
-		for _, yb := range yPack.Bins {
-			ms.AddReducerX2Y(xs, ys, xb.Items, yb.Items)
+	// Sort and price every bin once; each of the b_x*b_y reducers then just
+	// copies the two pre-sorted member lists and sums the two bin loads,
+	// instead of re-sorting and re-pricing per reducer.
+	sortBins := func(bins []binpack.Bin, set *core.InputSet) ([][]int, []core.Size) {
+		ids := make([][]int, len(bins))
+		loads := make([]core.Size, len(bins))
+		for i, b := range bins {
+			cp := append([]int(nil), b.Items...)
+			sort.Ints(cp)
+			ids[i] = cp
+			for _, id := range cp {
+				loads[i] += set.Size(id)
+			}
+		}
+		return ids, loads
+	}
+	xIDs, xLoads := sortBins(xPack.Bins, xs)
+	yIDs, yLoads := sortBins(yPack.Bins, ys)
+	ms.Reducers = make([]core.Reducer, 0, len(xIDs)*len(yIDs))
+	for i := range xIDs {
+		for j := range yIDs {
+			ms.Reducers = append(ms.Reducers, core.Reducer{
+				XInputs: append([]int(nil), xIDs[i]...),
+				YInputs: append([]int(nil), yIDs[j]...),
+				Load:    xLoads[i] + yLoads[j],
+			})
 		}
 	}
 	return ms, nil
