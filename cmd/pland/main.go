@@ -31,8 +31,15 @@
 //	                         "rebuild" job is scheduled on the v2 job queue
 //	GET    /v2/sessions/{id} current schema, stable input IDs, drift stats
 //	DELETE /v2/sessions/{id} close the session
-//	GET    /v1/stats         cache, solver-win, and job-queue counters
+//	GET    /v1/stats         cache, solver-win, job-queue, and session counters
 //	GET    /healthz          liveness probe
+//	GET    /metrics          Prometheus text exposition of every pland series
+//	GET    /debug/pprof/     runtime profiles; both move to the separate
+//	                         -debug-addr listener when one is given
+//
+// Every response carries an X-Request-ID header (client-provided or
+// generated) that the structured request log echoes, so one failing call can
+// be found in the logs from its response alone.
 //
 // Every error is the same JSON envelope: {"error":{"code":"...","message":"..."}}.
 //
@@ -52,7 +59,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -79,10 +87,24 @@ func main() {
 		drain      = fs.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests and jobs")
 		maxSess    = fs.Int("max-sessions", 64, "largest number of live v2 sessions")
 		maxSessIn  = fs.Int("max-session-inputs", 10_000, "largest live input count per session")
+		debugAddr  = fs.String("debug-addr", "", "separate listener for /metrics and /debug/pprof (default: served on -addr)")
+		logFormat  = fs.String("log-format", "text", `log output format: "text" or "json"`)
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	var lh slog.Handler
+	switch *logFormat {
+	case "text":
+		lh = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		lh = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "pland: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(lh)
+	slog.SetDefault(logger)
 	entries := *cacheSize
 	if entries == 0 {
 		entries = -1 // PlannerConfig uses negative to disable, 0 for the default
@@ -100,9 +122,11 @@ func main() {
 		MaxJobTimeout:    *maxJobTO,
 		MaxSessions:      *maxSess,
 		MaxSessionInputs: *maxSessIn,
+		DebugAddr:        *debugAddr,
+		Logger:           logger,
 	})
-	log.Printf("pland: listening on %s (cache=%d entries, default budget %v, queue depth %d)",
-		*addr, *cacheSize, *timeout, *queueDepth)
+	logger.Info("listening", "addr", *addr, "cache_entries", *cacheSize,
+		"default_budget", *timeout, "queue_depth", *queueDepth)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -115,6 +139,23 @@ func main() {
 		IdleTimeout:  2 * time.Minute,
 	}
 
+	// The debug listener serves /metrics and pprof away from API traffic so
+	// a scrape or a profile never competes with a solve for the API port.
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		logger.Info("debug listener", "addr", *debugAddr)
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
@@ -122,21 +163,27 @@ func main() {
 
 	select {
 	case err := <-serveErr:
-		log.Fatalf("pland: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately instead of waiting for drain
-	log.Printf("pland: shutdown signal received, draining for up to %v", *drain)
+	logger.Info("shutdown signal received", "drain", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
-		log.Printf("pland: http drain: %v", err)
+		logger.Warn("http drain", "error", err)
 	}
 	if err := srv.Close(dctx); err != nil {
-		log.Printf("pland: job drain: %v (unfinished jobs marked failed)", err)
+		logger.Warn("job drain; unfinished jobs marked failed", "error", err)
+	}
+	if ds != nil {
+		if err := ds.Shutdown(dctx); err != nil {
+			logger.Warn("debug listener drain", "error", err)
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("pland: %v", err)
+		logger.Error("serve failed", "error", err)
 	}
-	log.Printf("pland: bye")
+	logger.Info("bye")
 }

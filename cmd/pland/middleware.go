@@ -1,0 +1,145 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTP surface series on obs.Default. Route labels come from a small fixed
+// vocabulary — IDs are normalized away — so the label sets stay bounded no
+// matter what clients request.
+var (
+	obsHTTPRequests = obs.Default.CounterVec("pland_http_requests_total",
+		"HTTP requests served, by normalized route and status code.", "route", "status")
+	obsHTTPSeconds = obs.Default.HistogramVec("pland_http_request_seconds",
+		"HTTP request latency, by normalized route.", obs.LatencyBuckets, "route")
+	obsHTTPInFlight = obs.Default.Gauge("pland_http_in_flight",
+		"HTTP requests currently being served.")
+)
+
+// requestIDHeader is the correlation header: honored when the client sends a
+// sane value, generated otherwise, and always echoed on the response so a
+// client can quote it when reporting a failure.
+const requestIDHeader = "X-Request-ID"
+
+// routeLabel collapses a request path onto the bounded route vocabulary.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/plan", "/v1/execute", "/v1/stats",
+		"/v2/jobs", "/v2/sessions", "/healthz", "/metrics":
+		return path
+	}
+	switch {
+	case strings.HasPrefix(path, "/v2/jobs/"):
+		return "/v2/jobs/{id}"
+	case strings.HasPrefix(path, "/v2/sessions/"):
+		return "/v2/sessions/{id}"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// validRequestID accepts inbound correlation IDs that are short and plain
+// ASCII; anything else (empty, oversized, control bytes, quote/backslash that
+// would need escaping in logs and headers) is replaced by a generated ID.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures what a handler wrote without changing how it writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withObs wraps next with the observability spine: request-ID propagation, a
+// per-request span that the planner's stages report into, per-route request
+// counters and latency histograms, and one structured log line per request.
+func withObs(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		route := routeLabel(r.URL.Path)
+
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx, sp := obs.StartSpan(ctx, route)
+		w.Header().Set(requestIDHeader, id)
+
+		sw := &statusWriter{ResponseWriter: w}
+		obsHTTPInFlight.Inc()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		obsHTTPInFlight.Dec()
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing; net/http sends 200
+		}
+		elapsed := time.Since(start)
+		obsHTTPRequests.With(route, strconv.Itoa(status)).Inc()
+		obsHTTPSeconds.With(route).ObserveDuration(elapsed)
+
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+		}
+		attrs = append(attrs, sp.LogAttrs()...)
+		logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+	})
+}
+
+// registerDebug mounts the metrics and pprof endpoints on mux. They sit on
+// the main listener by default and move to -debug-addr when one is given.
+func registerDebug(mux *http.ServeMux) {
+	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// debugMux builds the standalone handler the -debug-addr listener serves.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	registerDebug(mux)
+	return mux
+}

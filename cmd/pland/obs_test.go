@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/v1/plan":           "/v1/plan",
+		"/v1/execute":        "/v1/execute",
+		"/v1/stats":          "/v1/stats",
+		"/v2/jobs":           "/v2/jobs",
+		"/v2/jobs/abc123":    "/v2/jobs/{id}",
+		"/v2/sessions":       "/v2/sessions",
+		"/v2/sessions/s-1":   "/v2/sessions/{id}",
+		"/healthz":           "/healthz",
+		"/metrics":           "/metrics",
+		"/debug/pprof/":      "/debug/pprof",
+		"/debug/pprof/heap":  "/debug/pprof",
+		"/":                  "other",
+		"/no/such/endpoint":  "other",
+		"/v2/jobs/a/b/extra": "/v2/jobs/{id}",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	srv := newTestServer(t)
+
+	// No inbound ID: the server generates a 16-hex one.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("generated X-Request-ID = %q, want 16 hex chars", id)
+	}
+
+	// A sane inbound ID is echoed back unchanged.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-42" {
+		t.Fatalf("echoed X-Request-ID = %q, want trace-42", got)
+	}
+
+	// A hostile inbound ID (too long) is replaced, not echoed.
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", strings.Repeat("x", 200))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Fatalf("oversized inbound ID echoed back as %q, want a generated one", got)
+	}
+}
+
+// TestMetricsEndpoint drives real traffic through the server and checks the
+// scrape reflects it in valid exposition format. obs.Default is process-wide,
+// so assertions are presence and floors, never exact counts.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+
+	if resp, _ := postPlan(t, srv, `{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`pland_http_requests_total{route="/v1/plan",status="200"}`,
+		`pland_http_request_seconds_bucket{route="/v1/plan",le="+Inf"}`,
+		"# TYPE pland_http_requests_total counter",
+		"# TYPE pland_http_request_seconds histogram",
+		"# TYPE pland_planner_requests_total counter",
+		"pland_planner_plan_seconds_count",
+		"# TYPE pland_jobs_queue_depth gauge",
+		"# TYPE pland_stream_sessions gauge",
+		"# TYPE pland_exec_runs_total counter",
+		"pland_http_in_flight",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	if !strings.HasSuffix(body, "\n") {
+		t.Error("scrape does not end with a newline")
+	}
+}
+
+// TestMetricsMovesToDebugAddr checks that configuring a debug listener takes
+// /metrics and pprof off the API mux.
+func TestMetricsMovesToDebugAddr(t *testing.T) {
+	srv := newTestServerCfg(t, serverConfig{DebugAddr: "127.0.0.1:0"})
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics on API mux = %d, want 404 when -debug-addr is set", resp.StatusCode)
+	}
+
+	dbg := httptest.NewServer(debugMux())
+	defer dbg.Close()
+	resp, err = http.Get(dbg.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics on debug mux = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(dbg.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/cmdline on debug mux = %d", resp.StatusCode)
+	}
+}
+
+// TestStatsReportsQueueAndSessions checks the /v1/stats view over the queue
+// and session managers (satellite of the observability spine).
+func TestStatsReportsQueueAndSessions(t *testing.T) {
+	srv := newTestServer(t)
+
+	body := `{"capacity":20,"sizes":[5,3,7]}`
+	resp, err := http.Post(srv.URL+"/v2/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Jobs struct {
+			QueueDepth    int `json:"queue_depth"`
+			QueueCapacity int `json:"queue_capacity"`
+			Workers       int `json:"workers"`
+			Running       int `json:"running"`
+		} `json:"jobs"`
+		Sessions struct {
+			Live  int `json:"live"`
+			Limit int `json:"limit"`
+		} `json:"sessions"`
+		HTTP struct {
+			InFlight int64 `json:"in_flight"`
+		} `json:"http"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sessions.Live != 1 {
+		t.Errorf("sessions.live = %d, want 1", stats.Sessions.Live)
+	}
+	if stats.Sessions.Limit <= 0 {
+		t.Errorf("sessions.limit = %d, want positive", stats.Sessions.Limit)
+	}
+	if stats.Jobs.QueueCapacity <= 0 || stats.Jobs.Workers <= 0 {
+		t.Errorf("jobs block not populated: %+v", stats.Jobs)
+	}
+	if stats.HTTP.InFlight < 1 {
+		t.Errorf("http.in_flight = %d, want >= 1 (this very request)", stats.HTTP.InFlight)
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -35,6 +35,11 @@ type serverConfig struct {
 	// MaxSessionInputs bounds the live inputs of each.
 	MaxSessions      int
 	MaxSessionInputs int
+	// DebugAddr is the separate listener -debug-addr serves /metrics and
+	// /debug/pprof on; when empty they mount on the main mux instead.
+	DebugAddr string
+	// Logger receives one structured line per request; nil uses slog.Default.
+	Logger *slog.Logger
 }
 
 // server is the HTTP front end over the assign SDK. It is a plain
@@ -44,6 +49,8 @@ type server struct {
 	jobs    *jobs.Manager
 	cfg     serverConfig
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
+	log     *slog.Logger
 	started time.Time
 
 	sessMu   sync.Mutex
@@ -81,6 +88,9 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 	if cfg.MaxSessionInputs <= 0 {
 		cfg.MaxSessionInputs = 10_000
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
 	s := &server{
 		planner: pl,
 		jobs: jobs.New(jobs.Config{
@@ -90,6 +100,7 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 		}),
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
+		log:      cfg.Logger,
 		started:  time.Now(),
 		sessions: make(map[string]*sessionEntry),
 	}
@@ -101,13 +112,17 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 	s.mux.HandleFunc("/v2/sessions", s.handleSessions)
 	s.mux.HandleFunc("/v2/sessions/", s.handleSession)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if cfg.DebugAddr == "" {
+		registerDebug(s.mux)
+	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, notFound("no such endpoint"))
 	})
+	s.handler = withObs(s.log, s.mux)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Close drains the job queue — in-flight jobs that outlive ctx are marked
 // failed with a shutdown reason — and then shuts every live session down.
@@ -525,11 +540,28 @@ func (s *server) runExecute(ctx context.Context, body executeRequest, maxBudget 
 	return resp, nil
 }
 
-// statsResponse is the JSON answer of GET /v1/stats.
+// sessionsStats is the session-manager block of GET /v1/stats.
+type sessionsStats struct {
+	// Live is how many v2 sessions are open right now; Limit the ceiling.
+	Live  int `json:"live"`
+	Limit int `json:"limit"`
+}
+
+// httpStats is the request-surface block of GET /v1/stats, a thin view over
+// the same gauge /metrics exports.
+type httpStats struct {
+	InFlight int64 `json:"in_flight"`
+}
+
+// statsResponse is the JSON answer of GET /v1/stats. The jobs block carries
+// the queue state (depth, capacity, workers, running = workers busy); the
+// sessions block the session-manager state.
 type statsResponse struct {
 	assign.Stats
-	Jobs          jobs.Stats `json:"jobs"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
+	Jobs          jobs.Stats    `json:"jobs"`
+	Sessions      sessionsStats `json:"sessions"`
+	HTTP          httpStats     `json:"http"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -537,9 +569,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, methodNotAllowed("GET"))
 		return
 	}
+	s.sessMu.Lock()
+	live := len(s.sessions)
+	s.sessMu.Unlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Stats:         s.planner.Stats(),
 		Jobs:          s.jobs.Stats(),
+		Sessions:      sessionsStats{Live: live, Limit: s.cfg.MaxSessions},
+		HTTP:          httpStats{InFlight: obsHTTPInFlight.Value()},
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }
@@ -553,6 +590,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("pland: encoding response: %v", err)
+		slog.Error("encoding response", "error", err)
 	}
 }

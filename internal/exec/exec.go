@@ -2,13 +2,16 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mr"
+	"repro/internal/obs"
 	"repro/internal/planner"
 )
 
@@ -27,6 +30,10 @@ type PairFunc func(a, b Record, emit func([]byte)) error
 
 // Request describes one schema-driven execution.
 type Request struct {
+	// Ctx, when non-nil, carries the request's obs span so compile and audit
+	// stage timings land in the request trace. It does not cancel the engine
+	// run (the engine has no internal cancellation points).
+	Ctx context.Context
 	// Name labels the job in errors and results.
 	Name string
 	// Schema is the mapping schema to execute. When nil, Plan's schema is
@@ -97,16 +104,25 @@ func Run(req Request) (*Result, error) {
 // construction for jobs that share one schema); a nil or mismatched index is
 // ignored and compiled per call.
 func run(req Request, shared *schemaIndex) (*Result, error) {
+	sp := obs.SpanFrom(req.Ctx)
+	endCompile := sp.Stage("exec_compile")
 	c, err := compile(req, shared)
 	if err != nil {
+		endCompile()
+		obsRunsError.Inc()
 		return nil, err
 	}
 	if err := c.auditor.PreCheck(); err != nil {
+		endCompile()
+		obsRunsAuditFailed.Inc()
+		countViolations(err)
 		return nil, fmt.Errorf("exec: schema for job %q fails conformance: %w", req.Name, err)
 	}
+	endCompile()
 	res := &Result{Schema: c.schema}
 	if c.schema.NumReducers() == 0 {
 		// No reducers and PreCheck passed: there is no required pair.
+		obsRunsOK.Inc()
 		return res, nil
 	}
 	eng := req.Engine
@@ -115,17 +131,27 @@ func run(req Request, shared *schemaIndex) (*Result, error) {
 	}
 	runRes, err := eng.Run(c.job(), c.records)
 	if err != nil {
+		obsRunsError.Inc()
 		return nil, fmt.Errorf("exec: running job %q: %w", req.Name, err)
 	}
 	res.Output = runRes.FlatOutput()
 	res.Counters = runRes.Counters
 	res.PairsProcessed = c.trace.Pairs()
+	obsPairs.Add(uint64(res.PairsProcessed))
 	if !req.NoAudit {
-		if err := c.auditor.Check(c.trace, &runRes.Counters); err != nil {
+		endAudit := sp.Stage("audit")
+		verifyStart := time.Now()
+		err := c.auditor.Check(c.trace, &runRes.Counters)
+		obsVerifySeconds.ObserveSince(verifyStart)
+		endAudit()
+		if err != nil {
+			obsRunsAuditFailed.Inc()
+			countViolations(err)
 			return res, fmt.Errorf("exec: job %q failed the conformance audit: %w", req.Name, err)
 		}
 		res.Audited = true
 	}
+	obsRunsOK.Inc()
 	return res, nil
 }
 

@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+)
+
+// Process-wide executor series on obs.Default. Everything here sits outside
+// the engine's map/reduce hot loops: runs and pairs are counted once per Run,
+// verify latency once per audit, violations only on audit failure.
+var (
+	obsRunsVec = obs.Default.CounterVec("pland_exec_runs_total",
+		"Schema-driven executions, by outcome (ok, error, audit_failed).", "outcome")
+	obsRunsOK          = obsRunsVec.With("ok")
+	obsRunsError       = obsRunsVec.With("error")
+	obsRunsAuditFailed = obsRunsVec.With("audit_failed")
+
+	obsPairs = obs.Default.Counter("pland_exec_pairs_total",
+		"Required pairs processed by reducers, summed over runs.")
+
+	obsVerifySeconds = obs.Default.Histogram("pland_exec_verify_seconds",
+		"Latency of the post-run conformance audit.", obs.LatencyBuckets)
+
+	obsViolations = obs.Default.CounterVec("pland_exec_audit_violations_total",
+		"Conformance violations found by audits, by class.", "class")
+)
+
+// violationClass maps a violation's sentinel to its bounded metric label.
+func violationClass(v Violation) string {
+	switch {
+	case errors.Is(v.Err, ErrOverCapacity):
+		return "over_capacity"
+	case errors.Is(v.Err, ErrUncoveredPair):
+		return "uncovered_pair"
+	case errors.Is(v.Err, ErrDuplicatePair):
+		return "duplicate_pair"
+	case errors.Is(v.Err, ErrWrongOwner):
+		return "wrong_owner"
+	case errors.Is(v.Err, ErrLoadMismatch):
+		return "load_mismatch"
+	default:
+		return "other"
+	}
+}
+
+// countViolations feeds an audit failure's violations into the class counter.
+func countViolations(err error) {
+	var ae *AuditError
+	if !errors.As(err, &ae) {
+		return
+	}
+	for _, v := range ae.Violations {
+		obsViolations.With(violationClass(v)).Inc()
+	}
+}

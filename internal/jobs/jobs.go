@@ -188,11 +188,14 @@ func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
 	}
 	if len(m.pending) >= m.cfg.QueueDepth {
 		m.mu.Unlock()
+		obsRejected.Inc()
 		return Snapshot{}, ErrQueueFull
 	}
 	m.pending = append(m.pending, j)
 	m.jobs[j.id] = j
 	m.submitted++
+	obsSubmitted.Inc()
+	obsQueueDepth.Inc()
 	snap := j.snapshot()
 	m.cond.Signal()
 	m.mu.Unlock()
@@ -211,6 +214,7 @@ func (m *Manager) Get(id string) (Snapshot, error) {
 	}
 	if j.state.Terminal() && time.Now().After(j.expiresAt) {
 		delete(m.jobs, id)
+		obsExpired.Inc()
 		return Snapshot{}, ErrNotFound
 	}
 	return j.snapshot(), nil
@@ -225,6 +229,9 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok || (j.state.Terminal() && time.Now().After(j.expiresAt)) {
+		if ok {
+			obsExpired.Inc()
+		}
 		delete(m.jobs, id)
 		return Snapshot{}, ErrNotFound
 	}
@@ -235,6 +242,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 		for i, p := range m.pending {
 			if p == j {
 				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				obsQueueDepth.Dec()
 				break
 			}
 		}
@@ -327,6 +335,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	for _, j := range m.jobs {
 		if !j.state.Terminal() {
+			if j.state == StateQueued {
+				obsQueueDepth.Dec() // never dequeued; keep the gauge truthful
+			}
 			m.finishLocked(j, StateFailed, nil, ErrShutdown)
 		}
 	}
@@ -348,6 +359,7 @@ func (m *Manager) worker() {
 		}
 		j := m.pending[0]
 		m.pending = m.pending[1:]
+		obsQueueDepth.Dec()
 		m.mu.Unlock()
 		m.run(j)
 	}
@@ -365,6 +377,8 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	fn := j.fn
+	obsWaitSeconds.ObserveDuration(j.started.Sub(j.created))
+	obsInFlight.Inc()
 	m.mu.Unlock()
 	defer cancel()
 
@@ -372,6 +386,8 @@ func (m *Manager) run(j *job) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	obsInFlight.Dec()
+	obsRunSeconds.ObserveSince(j.started)
 	if j.state != StateRunning {
 		return // shutdown already failed it
 	}
@@ -399,10 +415,13 @@ func (m *Manager) finishLocked(j *job, s State, result any, err error) {
 	switch s {
 	case StateSucceeded:
 		m.succeeded++
+		obsFinSucceeded.Inc()
 	case StateFailed:
 		m.failed++
+		obsFinFailed.Inc()
 	case StateCanceled:
 		m.canceled++
+		obsFinCanceled.Inc()
 	}
 }
 
@@ -429,6 +448,7 @@ func (m *Manager) runJanitor() {
 			for id, j := range m.jobs {
 				if j.state.Terminal() && now.After(j.expiresAt) {
 					delete(m.jobs, id)
+					obsExpired.Inc()
 				}
 			}
 			m.mu.Unlock()

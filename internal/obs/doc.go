@@ -1,0 +1,53 @@
+// Package obs is the observability spine of the repo: a dependency-free
+// metrics registry with Prometheus text-format exposition, and lightweight
+// context-propagated spans that thread one request ID and per-stage
+// durations through a request's layers.
+//
+// # Why it exists
+//
+// The paper's contribution is a cost model — replication and communication
+// bounds for multiway-join reducer assignment — and a cost model you cannot
+// measure in a running system is unfalsifiable. The planner, job queue,
+// session maintenance, and executor each expose counters, gauges, and
+// latency histograms on the shared Default registry; cmd/pland serves them
+// at GET /metrics so per-request latency, cache behavior, queue depth,
+// migration bytes, and audit violations become scrapeable series instead of
+// one-off log lines.
+//
+// The module has zero dependencies and this package keeps it that way:
+// exposition is hand-written Prometheus text format v0.0.4, and every hot
+// counter is a plain atomic — no locks on the Plan/Verify/delta paths.
+//
+// # Metric naming conventions
+//
+// Every metric is named
+//
+//	pland_<subsystem>_<name>_<unit>
+//
+// where <subsystem> is one of planner, jobs, stream, exec, http, or process,
+// and the trailing unit follows the Prometheus conventions:
+//
+//   - counters end in _total (e.g. pland_planner_requests_total); byte
+//     counters end in _bytes_total
+//   - gauges carry a bare unit or none (pland_jobs_queue_depth,
+//     pland_stream_sessions)
+//   - histograms of durations end in _seconds and observe time.Duration
+//     values converted to seconds (pland_http_request_seconds); p50/p99 are
+//     derivable by any scraper from the exponential _bucket series
+//
+// Label sets are small and bounded by construction: routes are normalized
+// templates ("/v2/jobs/{id}"), solver names come from the fixed portfolio,
+// audit classes from the five violation sentinels. Never label by request
+// ID, session ID, or anything else unbounded.
+//
+// # Registration
+//
+// Metrics are created and registered in one call, and registration is
+// idempotent — asking a registry for a name it already holds returns the
+// existing collector, provided the type and label arity match (a mismatch
+// panics: it is a programming error, not an operational condition).
+// Subsystems register their metrics as package-level vars on Default at
+// init; per-instance state (a planner's private Stats struct, a jobs
+// manager's census) stays per-instance, while the Default registry carries
+// the process-wide series a scraper sees.
+package obs

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryHammer pounds one registry from many goroutines — scalar
+// increments, vec child creation, histogram observations, and concurrent
+// scrapes — and then checks the totals. Run under -race this is the data-race
+// proof for the whole package.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_ops_total", "ops")
+	g := r.Gauge("hammer_inflight", "in flight")
+	h := r.Histogram("hammer_latency_seconds", "lat", LatencyBuckets)
+	cv := r.CounterVec("hammer_kinds_total", "kinds", "kind")
+	hv := r.HistogramVec("hammer_routes_seconds", "routes", LatencyBuckets, "route")
+
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			kind := fmt.Sprintf("kind-%d", w%3)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i%100) / 1000)
+				cv.With(kind).Inc()
+				hv.With("/route").Observe(0.001)
+				// Concurrent idempotent re-registration must be safe too.
+				if i%500 == 0 {
+					r.Counter("hammer_ops_total", "ops").Add(0)
+				}
+				g.Dec()
+			}
+		}(w)
+	}
+	// Scrape continuously while the writers run.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	const total = workers * iters
+	if got := c.Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	var kindSum uint64
+	for _, k := range []string{"kind-0", "kind-1", "kind-2"} {
+		kindSum += cv.With(k).Value()
+	}
+	if kindSum != total {
+		t.Fatalf("vec sum = %d, want %d", kindSum, total)
+	}
+	if got := hv.With("/route").Count(); got != total {
+		t.Fatalf("route histogram count = %d, want %d", got, total)
+	}
+	// The final exposition must still be well-formed.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, sb.String())
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID beats a
+		// panic on an observability path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	spanKey
+)
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// StageTiming is one named stage's recorded duration within a span.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Span accumulates per-stage durations for one request. A nil *Span is valid
+// everywhere: Stage returns a no-op closure, accessors return zero values —
+// instrumented code never has to check whether tracing is on.
+type Span struct {
+	name  string
+	reqID string
+	start time.Time
+
+	mu     sync.Mutex
+	stages []StageTiming
+}
+
+// StartSpan begins a span named name, attaches it to ctx, and reuses (or
+// generates) the context's request ID. The returned ctx carries both.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	id := RequestID(ctx)
+	if id == "" {
+		id = NewRequestID()
+		ctx = WithRequestID(ctx, id)
+	}
+	sp := &Span{name: name, reqID: id, start: time.Now()}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SpanFrom returns the span carried by ctx, or nil. nil is safe to use.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// Stage starts timing a named stage and returns the closure that ends it:
+//
+//	done := obs.SpanFrom(ctx).Stage("canonicalize")
+//	... work ...
+//	done()
+func (s *Span) Stage(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		s.mu.Lock()
+		s.stages = append(s.stages, StageTiming{Name: name, Duration: d})
+		s.mu.Unlock()
+	}
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// RequestID returns the span's request ID ("" for nil).
+func (s *Span) RequestID() string {
+	if s == nil {
+		return ""
+	}
+	return s.reqID
+}
+
+// Elapsed returns the time since the span started (0 for nil).
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// Stages returns a copy of the recorded stage timings in completion order.
+func (s *Span) Stages() []StageTiming {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]StageTiming(nil), s.stages...)
+}
+
+// LogAttrs renders the span as slog attributes: request ID, total elapsed,
+// and one stage_<name> attr per recorded stage — the shape request logs want.
+func (s *Span) LogAttrs() []slog.Attr {
+	if s == nil {
+		return nil
+	}
+	attrs := []slog.Attr{
+		slog.String("request_id", s.reqID),
+		slog.Duration("elapsed", s.Elapsed()),
+	}
+	for _, st := range s.Stages() {
+		attrs = append(attrs, slog.Duration("stage_"+st.Name, st.Duration))
+	}
+	return attrs
+}

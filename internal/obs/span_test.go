@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("request ID %q, want 16 hex chars", id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Fatalf("two request IDs collided: %q", id)
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("RequestID = %q, want %q", got, id)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("empty ctx RequestID = %q, want \"\"", got)
+	}
+}
+
+func TestSpanStages(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "plan")
+	if sp.Name() != "plan" {
+		t.Fatalf("name = %q", sp.Name())
+	}
+	if sp.RequestID() == "" {
+		t.Fatal("span did not generate a request ID")
+	}
+	if got := RequestID(ctx); got != sp.RequestID() {
+		t.Fatalf("ctx request ID %q != span %q", got, sp.RequestID())
+	}
+	if SpanFrom(ctx) != sp {
+		t.Fatal("SpanFrom did not return the started span")
+	}
+
+	done := sp.Stage("canonicalize")
+	time.Sleep(time.Millisecond)
+	done()
+	sp.Stage("race")()
+
+	stages := sp.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %v, want 2", stages)
+	}
+	if stages[0].Name != "canonicalize" || stages[1].Name != "race" {
+		t.Fatalf("stage order wrong: %v", stages)
+	}
+	if stages[0].Duration <= 0 {
+		t.Fatalf("stage duration not recorded: %v", stages[0])
+	}
+	if sp.Elapsed() <= 0 {
+		t.Fatal("elapsed not positive")
+	}
+	attrs := sp.LogAttrs()
+	if len(attrs) != 4 { // request_id, elapsed, 2 stages
+		t.Fatalf("LogAttrs = %v, want 4 attrs", attrs)
+	}
+}
+
+func TestSpanReusesContextRequestID(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "deadbeefdeadbeef")
+	_, sp := StartSpan(ctx, "plan")
+	if sp.RequestID() != "deadbeefdeadbeef" {
+		t.Fatalf("span request ID = %q, want the context's", sp.RequestID())
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var sp *Span
+	sp.Stage("anything")() // must not panic
+	if sp.Name() != "" || sp.RequestID() != "" || sp.Elapsed() != 0 {
+		t.Fatal("nil span accessors not zero")
+	}
+	if sp.Stages() != nil || sp.LogAttrs() != nil {
+		t.Fatal("nil span slices not nil")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("SpanFrom on empty ctx not nil")
+	}
+}

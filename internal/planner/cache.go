@@ -153,9 +153,11 @@ func (c *cache) finishFlight(cn *canonical, f *flight, plan *cachedPlan, err err
 			e := &entry{hash: cn.hash, problem: cn.problem, q: cn.q, sizes: cn.sizes, ySizes: cn.ySizes,
 				plan: plan, weight: w}
 			s.entries[cn.hash] = s.order.PushFront(e)
+			obsCacheEntries.Inc()
 			s.weight += e.weight
 			for s.order.Len() > 1 && (s.order.Len() > s.capacity || s.weight > s.weightCap) {
 				s.remove(s.order.Back())
+				obsCacheEvictions.Inc()
 			}
 		}
 	}
@@ -171,6 +173,7 @@ func (s *cacheShard) remove(el *list.Element) {
 	s.order.Remove(el)
 	delete(s.entries, e.hash)
 	s.weight -= e.weight
+	obsCacheEntries.Dec()
 }
 
 // len reports the number of cached entries across all shards.

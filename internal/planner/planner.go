@@ -9,6 +9,7 @@ import (
 	"repro/internal/a2a"
 	"repro/internal/binpack"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/x2y"
 )
 
@@ -183,9 +184,13 @@ func Plan(ctx context.Context, req Request) (*Result, error) {
 func (p *Planner) Plan(ctx context.Context, req Request) (*Result, error) {
 	start := time.Now()
 	p.stats.requests.Add(1)
+	sp := obs.SpanFrom(ctx)
+	endCanon := sp.Stage("canonicalize")
 	cn, err := canonicalize(req)
+	endCanon()
 	if err != nil {
 		p.stats.errors.Add(1)
+		obsReqError.Inc()
 		return nil, err
 	}
 
@@ -194,25 +199,34 @@ func (p *Planner) Plan(ctx context.Context, req Request) (*Result, error) {
 		return p.solveAndRecord(ctx, req, cn, start)
 	}
 
+	endCache := sp.Stage("cache")
 	plan, waitFor, mine := p.cache.startFlight(cn)
 	switch {
 	case plan != nil: // cache hit
+		endCache()
 		p.stats.hits.Add(1)
+		obsReqHit.Inc()
 		return p.finish(req, cn, plan, true, false, start), nil
 	case waitFor != nil:
 		select {
 		case <-waitFor.done:
 		case <-ctx.Done():
+			endCache()
 			p.stats.errors.Add(1)
+			obsReqError.Inc()
 			return nil, ctx.Err()
 		}
+		endCache()
 		if waitFor.err != nil {
 			p.stats.errors.Add(1)
+			obsReqError.Inc()
 			return nil, waitFor.err
 		}
 		p.stats.shared.Add(1)
+		obsReqShared.Inc()
 		return p.finish(req, cn, waitFor.plan, false, true, start), nil
 	case mine != nil:
+		endCache()
 		// The solve is detached from the request context so an abandoned
 		// request neither poisons the flight's waiters nor wastes the work:
 		// the plan still lands in the cache. The portfolio itself is bounded
@@ -228,21 +242,28 @@ func (p *Planner) Plan(ctx context.Context, req Request) (*Result, error) {
 			}
 			p.cache.finishFlight(cn, mine, solved, err)
 		}()
+		endRace := sp.Stage("race")
 		select {
 		case <-mine.done:
 		case <-ctx.Done():
+			endRace()
 			p.stats.errors.Add(1)
+			obsReqError.Inc()
 			return nil, ctx.Err()
 		}
+		endRace()
 		if mine.err != nil {
 			p.stats.errors.Add(1)
+			obsReqError.Inc()
 			return nil, mine.err
 		}
 		p.stats.misses.Add(1)
+		obsReqMiss.Inc()
 		return p.finish(req, cn, mine.plan, false, false, start), nil
 	default:
 		// A fingerprint-colliding instance holds the flight slot: solve solo
 		// without caching.
+		endCache()
 		return p.solveAndRecord(ctx, req, cn, start)
 	}
 }
@@ -250,12 +271,16 @@ func (p *Planner) Plan(ctx context.Context, req Request) (*Result, error) {
 // solveAndRecord runs the portfolio for the request itself (no cache
 // involvement) and updates the counters.
 func (p *Planner) solveAndRecord(ctx context.Context, req Request, cn *canonical, start time.Time) (*Result, error) {
+	endRace := obs.SpanFrom(ctx).Stage("race")
 	plan, err := p.solvePortfolio(ctx, cn, req.Budget)
+	endRace()
 	if err != nil {
 		p.stats.errors.Add(1)
+		obsReqError.Inc()
 		return nil, err
 	}
 	p.stats.misses.Add(1)
+	obsReqMiss.Inc()
 	p.stats.recordWin(plan.winner)
 	return p.finish(req, cn, plan, false, false, start), nil
 }
@@ -270,6 +295,8 @@ func (p *Planner) finish(req Request, cn *canonical, plan *cachedPlan, hit, shar
 	} else {
 		total = req.X.TotalSize() + req.Y.TotalSize()
 	}
+	elapsed := time.Since(start)
+	obsPlanSeconds.ObserveDuration(elapsed)
 	return &Result{
 		Schema:             schema,
 		Cost:               core.SchemaCost(schema, total),
@@ -279,7 +306,7 @@ func (p *Planner) finish(req Request, cn *canonical, plan *cachedPlan, hit, shar
 		Candidates:         plan.candidates,
 		CacheHit:           hit,
 		SharedFlight:       shared,
-		Elapsed:            time.Since(start),
+		Elapsed:            elapsed,
 	}
 }
 
@@ -349,6 +376,8 @@ func portfolio(cn *canonical, set, ySet *core.InputSet, budget Budget) []candida
 // determinism. The baseline member (index 0) is always awaited even past the
 // deadline; slower members are dropped once the budget expires.
 func (p *Planner) solvePortfolio(ctx context.Context, cn *canonical, budget Budget) (*cachedPlan, error) {
+	raceStart := time.Now()
+	defer obsRaceSeconds.ObserveSince(raceStart)
 	set, ySet, err := cn.inputSets()
 	if err != nil {
 		return nil, err

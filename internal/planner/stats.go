@@ -19,6 +19,7 @@ type stats struct {
 }
 
 func (s *stats) recordWin(name string) {
+	obsSolverWins.With(name).Inc()
 	s.mu.Lock()
 	if s.wins == nil {
 		s.wins = make(map[string]uint64)

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 )
@@ -43,6 +44,7 @@ type DeltaReport struct {
 // pairs remain uncovered are packed with it into fresh reducers. It returns
 // the new input's stable ID.
 func (s *Session) Add(size core.Size) (InputID, DeltaReport, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -71,6 +73,8 @@ func (s *Session) Add(size core.Size) (InputID, DeltaReport, error) {
 	s.coverLocked(id, nil, &rep)
 	s.st.adds++
 	s.finishDeltaLocked(&rep)
+	obsDeltaAdd.Inc()
+	obsDeltaSeconds.ObserveSince(start)
 	return id, rep, nil
 }
 
@@ -79,6 +83,7 @@ func (s *Session) Add(size core.Size) (InputID, DeltaReport, error) {
 // repair is opportunistic: merging the shrunken reducers back together
 // within the migration budget.
 func (s *Session) Remove(id InputID) (DeltaReport, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -109,6 +114,8 @@ func (s *Session) Remove(id InputID) (DeltaReport, error) {
 	s.compactLocked(touched, &rep)
 	s.st.removes++
 	s.finishDeltaLocked(&rep)
+	obsDeltaRemove.Inc()
+	obsDeltaSeconds.ObserveSince(start)
 	return rep, nil
 }
 
@@ -116,6 +123,7 @@ func (s *Session) Remove(id InputID) (DeltaReport, error) {
 // that overflows a reducer evicts the resized input from exactly the
 // overflowing reducers and re-covers the pairs that eviction lost.
 func (s *Session) Resize(id InputID, newSize core.Size) (DeltaReport, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -134,6 +142,8 @@ func (s *Session) Resize(id InputID, newSize core.Size) (DeltaReport, error) {
 	rep := DeltaReport{Op: "resize", ID: id}
 	if newSize == old {
 		s.st.resizes++
+		obsDeltaResize.Inc()
+		obsDeltaSeconds.ObserveSince(start)
 		return rep, nil
 	}
 	if newSize > old {
@@ -175,6 +185,8 @@ func (s *Session) Resize(id InputID, newSize core.Size) (DeltaReport, error) {
 	}
 	s.st.resizes++
 	s.finishDeltaLocked(&rep)
+	obsDeltaResize.Inc()
+	obsDeltaSeconds.ObserveSince(start)
 	return rep, nil
 }
 
@@ -370,6 +382,8 @@ func (s *Session) finishDeltaLocked(rep *DeltaReport) {
 	rep.OverBudget = mandatory > s.migrationBudget()
 	s.drift += rep.MovedExistingBytes + rep.FreedBytes
 	s.st.movedBytes += rep.MovedBytes
+	obsMovedBytes.Add(uint64(rep.MovedBytes))
+	obsDriftBytes.Add(uint64(rep.MovedExistingBytes + rep.FreedBytes))
 	s.version++
 	rep.RebuildTriggered = s.maybeAutoRebuildLocked()
 }

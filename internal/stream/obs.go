@@ -1,0 +1,35 @@
+package stream
+
+import "repro/internal/obs"
+
+// Process-wide stream series on obs.Default, summed over every live Session
+// in the process. Delta instrumentation is counters and histograms only —
+// pure atomics, nothing added under Session.mu beyond them — so the
+// SessionDelta hot path stays lock-free at the instrumentation layer.
+var (
+	obsSessions = obs.Default.Gauge("pland_stream_sessions",
+		"Live (unclosed) sessions.")
+
+	obsDeltasVec = obs.Default.CounterVec("pland_stream_deltas_total",
+		"Applied deltas, by kind (add, remove, resize).", "kind")
+	obsDeltaAdd    = obsDeltasVec.With("add")
+	obsDeltaRemove = obsDeltasVec.With("remove")
+	obsDeltaResize = obsDeltasVec.With("resize")
+
+	obsDeltaSeconds = obs.Default.Histogram("pland_stream_delta_seconds",
+		"Latency of one delta apply (repair plus compaction).", obs.LatencyBuckets)
+
+	obsMovedBytes = obs.Default.Counter("pland_stream_moved_bytes_total",
+		"Bytes shipped by repairs, compaction, and rebuild swaps.")
+	obsDriftBytes = obs.Default.Counter("pland_stream_drift_bytes_total",
+		"Drift accrued by deltas (re-shipped plus freed bytes).")
+
+	obsRebuilds = obs.Default.Counter("pland_stream_rebuilds_total",
+		"Completed full rebuilds.")
+	obsRebuildFailures = obs.Default.Counter("pland_stream_rebuild_failures_total",
+		"Rebuilds whose replan failed.")
+	obsRebuildSeconds = obs.Default.Histogram("pland_stream_rebuild_seconds",
+		"Latency of one full rebuild (replan plus swap).", obs.LatencyBuckets)
+	obsMigrationBytes = obs.Default.Histogram("pland_stream_rebuild_migration_bytes",
+		"Migration cost of one rebuild swap, in bytes.", obs.ByteBuckets)
+)

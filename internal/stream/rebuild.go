@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // RebuildReport prices one full rebuild: the replan itself plus the atomic
@@ -72,6 +73,7 @@ func (s *Session) Rebuild(ctx context.Context) (*RebuildReport, error) {
 // the rebuilding flag.
 func (s *Session) rebuild(ctx context.Context) (*RebuildReport, error) {
 	start := time.Now()
+	sp := obs.SpanFrom(ctx)
 	s.mu.Lock()
 	snapIDs := append([]InputID(nil), s.ids...)
 	snapSizes := make([]core.Size, len(snapIDs))
@@ -83,26 +85,35 @@ func (s *Session) rebuild(ctx context.Context) (*RebuildReport, error) {
 
 	planned := &core.MappingSchema{Problem: core.ProblemA2A, Capacity: q}
 	if len(snapIDs) > 0 {
+		endReplan := sp.Stage("replan")
 		var err error
 		planned, err = s.replan(ctx, snapSizes)
+		endReplan()
 		if err != nil {
 			s.mu.Lock()
 			s.st.rebuildFailures++
 			s.mu.Unlock()
+			obsRebuildFailures.Inc()
 			return nil, fmt.Errorf("stream: replanning %d inputs: %w", len(snapIDs), err)
 		}
 	}
 
+	endSwap := sp.Stage("swap")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
 	rep := s.swapLocked(planned, snapIDs)
+	endSwap()
 	rep.Elapsed = time.Since(start)
 	s.st.rebuilds++
 	s.st.lastMigration = rep.MigrationBytes
 	s.st.movedBytes += rep.MigrationBytes
+	obsRebuilds.Inc()
+	obsRebuildSeconds.ObserveDuration(rep.Elapsed)
+	obsMigrationBytes.Observe(float64(rep.MigrationBytes))
+	obsMovedBytes.Add(uint64(rep.MigrationBytes))
 	return rep, nil
 }
 

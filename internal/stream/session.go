@@ -145,6 +145,7 @@ func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	if len(cfg.Initial) == 0 {
+		obsSessions.Inc()
 		return s, nil
 	}
 	var top1, top2 core.Size
@@ -177,6 +178,7 @@ func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 	s.next = len(cfg.Initial)
 	s.maxLive = top1
 	s.swapLocked(planned, snapIDs) // no concurrency yet, lock not needed
+	obsSessions.Inc()
 	return s, nil
 }
 
@@ -190,6 +192,7 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	obsSessions.Dec()
 	s.cancel()
 	s.wg.Wait()
 	return nil

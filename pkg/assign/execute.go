@@ -78,6 +78,7 @@ func (pl *Planner) Execute(ctx context.Context, opts ...Option) (*Execution, err
 		name = "assign-execute"
 	}
 	res, err := exec.Run(exec.Request{
+		Ctx:     ctx,
 		Name:    name,
 		Schema:  plan.Schema,
 		Inputs:  r.data,

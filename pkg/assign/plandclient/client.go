@@ -74,13 +74,23 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RequestID is the server's X-Request-ID correlation header, when the
+	// error arrived as an HTTP response. Quote it when reporting a failure:
+	// the server's request log carries the same ID.
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	var msg string
 	if e.StatusCode == 0 { // e.g. an error carried inside a job body, not a response status
-		return fmt.Sprintf("pland: %s (%s)", e.Message, e.Code)
+		msg = fmt.Sprintf("pland: %s (%s)", e.Message, e.Code)
+	} else {
+		msg = fmt.Sprintf("pland: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
 	}
-	return fmt.Sprintf("pland: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+	if e.RequestID != "" {
+		msg += " [request " + e.RequestID + "]"
+	}
+	return msg
 }
 
 // Error codes the server emits; compare against APIError.Code.
@@ -129,6 +139,9 @@ type PlanResult struct {
 	CacheHit           bool                  `json:"cache_hit"`
 	SharedFlight       bool                  `json:"shared_flight"`
 	ElapsedMicros      int64                 `json:"elapsed_us"`
+	// RequestID is the server's X-Request-ID for the call that produced this
+	// result; it matches the server's request log line.
+	RequestID string `json:"-"`
 }
 
 // ExecuteRequest is the body of POST /v1/execute and of "execute" jobs.
@@ -161,6 +174,9 @@ type ExecuteResult struct {
 	MaxReducerLoad int64                 `json:"max_reducer_load"`
 	Audited        bool                  `json:"audited"`
 	ElapsedMicros  int64                 `json:"elapsed_us"`
+	// RequestID is the server's X-Request-ID for the call that produced this
+	// result; it matches the server's request log line.
+	RequestID string `json:"-"`
 }
 
 // Job states of the v2 API.
@@ -191,6 +207,9 @@ type Job struct {
 		Code    string `json:"code"`
 		Message string `json:"message"`
 	} `json:"error,omitempty"`
+	// RequestID is the server's X-Request-ID of the call this view came from
+	// (submit or poll), not a property of the job itself.
+	RequestID string `json:"-"`
 }
 
 // Terminal reports whether the job reached a final state.
@@ -216,6 +235,7 @@ func (j *Job) PlanResult() (*PlanResult, error) {
 	if err := json.Unmarshal(j.Result, &out); err != nil {
 		return nil, fmt.Errorf("plandclient: decoding plan result: %w", err)
 	}
+	out.RequestID = j.RequestID
 	return &out, nil
 }
 
@@ -228,24 +248,29 @@ func (j *Job) ExecuteResult() (*ExecuteResult, error) {
 	if err := json.Unmarshal(j.Result, &out); err != nil {
 		return nil, fmt.Errorf("plandclient: decoding execute result: %w", err)
 	}
+	out.RequestID = j.RequestID
 	return &out, nil
 }
 
 // Plan solves synchronously via POST /v1/plan.
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResult, error) {
 	var out PlanResult
-	if err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // Execute plans and runs synchronously via POST /v1/execute.
 func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResult, error) {
 	var out ExecuteResult
-	if err := c.do(ctx, http.MethodPost, "/v1/execute", req, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodPost, "/v1/execute", req, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
@@ -260,27 +285,33 @@ type jobSubmit struct {
 // state. A full queue surfaces as an *APIError with CodeQueueFull.
 func (c *Client) SubmitPlan(ctx context.Context, req PlanRequest) (*Job, error) {
 	var out Job
-	if err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "plan", Plan: &req}, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "plan", Plan: &req}, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // SubmitExecute enqueues an asynchronous "execute" job.
 func (c *Client) SubmitExecute(ctx context.Context, req ExecuteRequest) (*Job, error) {
 	var out Job
-	if err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "execute", Execute: &req}, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "execute", Execute: &req}, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // GetJob polls one job's state via GET /v2/jobs/{id}.
 func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
 	var out Job
-	if err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
@@ -289,9 +320,11 @@ func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
 // cancellation — follow with WaitJob to see the final state.
 func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
 	var out Job
-	if err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+id, nil, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+id, nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
@@ -401,6 +434,8 @@ type Session struct {
 	// RebuildJobID, when set, is a rebuild running on the v2 job queue;
 	// poll it with GetJob/WaitJob.
 	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+	// RequestID is the server's X-Request-ID of the call this view came from.
+	RequestID string `json:"-"`
 }
 
 // SessionDelta is one delta of an UpdateSession batch; build with AddDelta,
@@ -451,6 +486,8 @@ type SessionPatchResult struct {
 	// RebuildJobID is set when this batch pushed drift past the threshold
 	// and scheduled a background rebuild.
 	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+	// RequestID is the server's X-Request-ID of the PATCH call.
+	RequestID string `json:"-"`
 }
 
 // SessionList is the answer of GET /v2/sessions.
@@ -458,33 +495,41 @@ type SessionList struct {
 	Sessions []Session `json:"sessions"`
 	Count    int       `json:"count"`
 	Limit    int       `json:"limit"`
+	// RequestID is the server's X-Request-ID of the list call.
+	RequestID string `json:"-"`
 }
 
 // CreateSession opens a live session via POST /v2/sessions. A server at its
 // session limit surfaces as an *APIError with CodeSessionLimit.
 func (c *Client) CreateSession(ctx context.Context, req SessionCreateRequest) (*Session, error) {
 	var out Session
-	if err := c.do(ctx, http.MethodPost, "/v2/sessions", req, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodPost, "/v2/sessions", req, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // ListSessions lists the live sessions via GET /v2/sessions.
 func (c *Client) ListSessions(ctx context.Context) (*SessionList, error) {
 	var out SessionList
-	if err := c.do(ctx, http.MethodGet, "/v2/sessions", nil, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodGet, "/v2/sessions", nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // GetSession fetches a session's current schema and drift stats.
 func (c *Client) GetSession(ctx context.Context, id string) (*Session, error) {
 	var out Session
-	if err := c.do(ctx, http.MethodGet, "/v2/sessions/"+id, nil, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodGet, "/v2/sessions/"+id, nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
@@ -496,60 +541,66 @@ func (c *Client) UpdateSession(ctx context.Context, id string, deltas ...Session
 		Deltas []SessionDelta `json:"deltas"`
 	}{Deltas: deltas}
 	var out SessionPatchResult
-	if err := c.do(ctx, http.MethodPatch, "/v2/sessions/"+id, body, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodPatch, "/v2/sessions/"+id, body, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // DeleteSession closes a session via DELETE /v2/sessions/{id}.
 func (c *Client) DeleteSession(ctx context.Context, id string) (*Session, error) {
 	var out Session
-	if err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+id, nil, &out); err != nil {
+	rid, err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+id, nil, &out)
+	if err != nil {
 		return nil, err
 	}
+	out.RequestID = rid
 	return &out, nil
 }
 
 // do performs one round trip: JSON request body (when non-nil), JSON
 // response into out on 2xx, and the server's error envelope as *APIError
-// otherwise.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// otherwise. The first return is the response's X-Request-ID header.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (string, error) {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
-			return fmt.Errorf("plandclient: encoding request: %w", err)
+			return "", fmt.Errorf("plandclient: encoding request: %w", err)
 		}
 		rd = bytes.NewReader(buf)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
 	if err != nil {
-		return fmt.Errorf("plandclient: building request: %w", err)
+		return "", fmt.Errorf("plandclient: building request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return fmt.Errorf("plandclient: %s %s: %w", method, path, err)
+		return "", fmt.Errorf("plandclient: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	rid := resp.Header.Get("X-Request-ID")
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeAPIError(resp)
+		return rid, decodeAPIError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("plandclient: decoding %s %s response: %w", method, path, err)
+		return rid, fmt.Errorf("plandclient: decoding %s %s response: %w", method, path, err)
 	}
-	return nil
+	return rid, nil
 }
 
 // decodeAPIError parses the unified error envelope; a non-envelope body
 // still yields a usable *APIError with the raw text.
 func decodeAPIError(resp *http.Response) error {
+	rid := resp.Header.Get("X-Request-ID")
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: err.Error()}
+		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: err.Error(), RequestID: rid}
 	}
 	var env struct {
 		Error struct {
@@ -559,9 +610,10 @@ func decodeAPIError(resp *http.Response) error {
 	}
 	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
 		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal,
-			Message: strings.TrimSpace(string(raw))}
+			Message: strings.TrimSpace(string(raw)), RequestID: rid}
 	}
-	return &APIError{StatusCode: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	return &APIError{StatusCode: resp.StatusCode, Code: env.Error.Code,
+		Message: env.Error.Message, RequestID: rid}
 }
 
 // IsCode reports whether err is an *APIError with the given code.

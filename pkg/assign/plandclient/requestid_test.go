@@ -1,0 +1,97 @@
+package plandclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/pkg/assign"
+)
+
+// TestRequestIDMetadata checks the client surfaces the server's X-Request-ID
+// on both success (result metadata) and failure (APIError).
+func TestRequestIDMetadata(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "req-ok-1")
+		json.NewEncoder(w).Encode(PlanResult{Reducers: 2, Winner: "stub"})
+	})
+	mux.HandleFunc("/v1/execute", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "req-err-1")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":{"code":"unprocessable","message":"infeasible"}}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := New(srv.URL)
+
+	res, err := c.Plan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 10, Sizes: []assign.Size{3}})
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if res.RequestID != "req-ok-1" {
+		t.Fatalf("PlanResult.RequestID = %q, want req-ok-1", res.RequestID)
+	}
+
+	_, err = c.Execute(context.Background(), ExecuteRequest{Problem: "A2A", Capacity: 10, Inputs: []string{"aaa"}})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Execute error = %v, want *APIError", err)
+	}
+	if ae.RequestID != "req-err-1" {
+		t.Fatalf("APIError.RequestID = %q, want req-err-1", ae.RequestID)
+	}
+	if !strings.Contains(ae.Error(), "req-err-1") {
+		t.Fatalf("APIError.Error() = %q, want the request ID quoted", ae.Error())
+	}
+}
+
+// TestRequestIDThroughJob checks the submit call's request ID rides along
+// into the job view and its decoded result.
+func TestRequestIDThroughJob(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "req-submit-1")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-1","type":"plan","state":"succeeded","result":{"reducers":4,"winner":"stub"}}`)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := New(srv.URL)
+
+	job, err := c.SubmitPlan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 10, Sizes: []assign.Size{3}})
+	if err != nil {
+		t.Fatalf("SubmitPlan: %v", err)
+	}
+	if job.RequestID != "req-submit-1" {
+		t.Fatalf("Job.RequestID = %q, want req-submit-1", job.RequestID)
+	}
+	res, err := job.PlanResult()
+	if err != nil {
+		t.Fatalf("PlanResult: %v", err)
+	}
+	if res.RequestID != "req-submit-1" {
+		t.Fatalf("decoded PlanResult.RequestID = %q, want req-submit-1", res.RequestID)
+	}
+}
+
+// TestRequestIDAbsent checks a server without the header leaves the metadata
+// empty rather than inventing one client-side.
+func TestRequestIDAbsent(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(PlanResult{Reducers: 1})
+	}))
+	defer srv.Close()
+	res, err := New(srv.URL).Plan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 5, Sizes: []assign.Size{1}})
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if res.RequestID != "" {
+		t.Fatalf("PlanResult.RequestID = %q, want empty", res.RequestID)
+	}
+}
