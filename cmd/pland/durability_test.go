@@ -1,0 +1,258 @@
+package main
+
+// In-process crash-recovery tests: a durable server is driven over HTTP,
+// "crashed" (WAL closed with NO final checkpoint, jobs drained with no done
+// records, sessions closed with no close records — exactly the state a
+// SIGKILL leaves after the last fsync), and rebooted onto the same data dir.
+// The shell script scripts/e2e-crash-recovery.sh does the same dance against
+// a real process with a real kill -9.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/wal"
+	"repro/pkg/assign"
+	"repro/pkg/assign/plandclient"
+)
+
+func durableConfig(dataDir string) serverConfig {
+	return serverConfig{
+		DataDir: dataDir,
+		// SyncAlways makes every acked request durable, so the in-process
+		// crash (which drops nothing that was fsynced) loses zero acked work.
+		Fsync: wal.SyncAlways,
+		// The periodic loop stays quiet; tests drive checkpoints explicitly.
+		CheckpointInterval: time.Hour,
+	}
+}
+
+// bootDurable builds a durable server plus an HTTP front for it.
+func bootDurable(t *testing.T, dataDir string) (*server, *httptest.Server, *plandclient.Client) {
+	t.Helper()
+	s, err := newDurableServer(assign.NewPlanner(assign.PlannerConfig{}), durableConfig(dataDir))
+	if err != nil {
+		t.Fatalf("newDurableServer: %v", err)
+	}
+	srv := httptest.NewServer(s)
+	return s, srv, plandclient.New(srv.URL)
+}
+
+// crash simulates a kill -9 after the last fsync: no final checkpoint, no
+// close records, no done records for unfinished jobs.
+func crash(t *testing.T, s *server, srv *httptest.Server) {
+	t.Helper()
+	srv.Close()
+	s.stopCheckpointer()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.jobs.Shutdown(ctx)
+	s.closeSessions()
+	if err := s.wal.Close(); err != nil {
+		t.Fatalf("wal close: %v", err)
+	}
+}
+
+func sessionFingerprint(t *testing.T, s *server, id string) uint64 {
+	t.Helper()
+	s.sessMu.Lock()
+	entry := s.sessions[id]
+	s.sessMu.Unlock()
+	if entry == nil {
+		t.Fatalf("session %s not live", id)
+	}
+	return entry.sess.State().Fingerprint()
+}
+
+func TestCrashRecoversSessions(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	s1, srv1, c1 := bootDurable(t, dataDir)
+
+	kept, err := c1.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 64, Sizes: []assign.Size{8, 5, 7, 3, 9}, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if _, err := c1.UpdateSession(ctx, kept.ID,
+		plandclient.AddDelta(6),
+		plandclient.RemoveDelta(1),
+		plandclient.ResizeDelta(0, 12),
+	); err != nil {
+		t.Fatalf("UpdateSession: %v", err)
+	}
+	doomed, err := c1.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 32, Sizes: []assign.Size{4, 4}, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession(doomed): %v", err)
+	}
+	if _, err := c1.DeleteSession(ctx, doomed.ID); err != nil {
+		t.Fatalf("DeleteSession: %v", err)
+	}
+	wantFP := sessionFingerprint(t, s1, kept.ID)
+	wantStats := func() assign.SessionStats {
+		s1.sessMu.Lock()
+		defer s1.sessMu.Unlock()
+		return s1.sessions[kept.ID].sess.Stats()
+	}()
+	crash(t, s1, srv1)
+
+	s2, srv2, c2 := bootDurable(t, dataDir)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Close()
+		s2.Close(dctx)
+	}()
+	if got := sessionFingerprint(t, s2, kept.ID); got != wantFP {
+		t.Fatalf("recovered fingerprint %#x, pre-crash %#x", got, wantFP)
+	}
+	gotStats := func() assign.SessionStats {
+		s2.sessMu.Lock()
+		defer s2.sessMu.Unlock()
+		return s2.sessions[kept.ID].sess.Stats()
+	}()
+	if gotStats.Inputs != wantStats.Inputs || gotStats.Adds != wantStats.Adds ||
+		gotStats.Removes != wantStats.Removes || gotStats.Version != wantStats.Version {
+		t.Fatalf("recovered stats %+v, pre-crash %+v", gotStats, wantStats)
+	}
+	s2.sessMu.Lock()
+	_, resurrected := s2.sessions[doomed.ID]
+	s2.sessMu.Unlock()
+	if resurrected {
+		t.Fatalf("deleted session %s resurrected by recovery", doomed.ID)
+	}
+
+	// The recovered session must keep serving deltas over HTTP.
+	patch, err := c2.UpdateSession(ctx, kept.ID, plandclient.AddDelta(5))
+	if err != nil {
+		t.Fatalf("UpdateSession after recovery: %v", err)
+	}
+	if patch.Applied != 1 {
+		t.Fatalf("patch after recovery = %+v", patch)
+	}
+}
+
+// TestCrashSurvivesCheckpoint is the same round trip with a compaction in
+// the middle: the checkpoint must re-anchor everything it drops segments for.
+func TestCrashSurvivesCheckpoint(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	s1, srv1, c1 := bootDurable(t, dataDir)
+
+	sess, err := c1.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 64, Sizes: []assign.Size{8, 5, 7}, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if _, err := c1.UpdateSession(ctx, sess.ID, plandclient.AddDelta(6), plandclient.AddDelta(2)); err != nil {
+		t.Fatalf("UpdateSession: %v", err)
+	}
+	if err := s1.checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if n := s1.wal.Segments(); n != 1 {
+		t.Fatalf("Segments() = %d after checkpoint, want 1", n)
+	}
+	// Deltas after the checkpoint replay on top of the barrier snapshot.
+	if _, err := c1.UpdateSession(ctx, sess.ID, plandclient.RemoveDelta(0)); err != nil {
+		t.Fatalf("UpdateSession post-checkpoint: %v", err)
+	}
+	wantFP := sessionFingerprint(t, s1, sess.ID)
+	crash(t, s1, srv1)
+
+	s2, srv2, _ := bootDurable(t, dataDir)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Close()
+		s2.Close(dctx)
+	}()
+	if got := sessionFingerprint(t, s2, sess.ID); got != wantFP {
+		t.Fatalf("post-checkpoint recovery fingerprint %#x, pre-crash %#x", got, wantFP)
+	}
+}
+
+func TestCrashReenqueuesJobs(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	s1, srv1, c1 := bootDurable(t, dataDir)
+
+	// A job that finishes before the crash must NOT re-run after it.
+	done, err := c1.SubmitPlan(ctx, plandclient.PlanRequest{
+		Problem: "A2A", Capacity: 10, Sizes: []assign.Size{3, 3, 2}, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("SubmitPlan: %v", err)
+	}
+	if _, err := c1.WaitJob(ctx, done.ID, 5*time.Millisecond); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	// A journaled-but-unfinished job (accepted, then the process died before
+	// a worker finished it) must come back. Journaling it directly pins the
+	// exact on-disk state such a job leaves without racing a live worker.
+	queuedBody := jobSubmitRequest{Type: jobTypePlan, Plan: &planRequest{
+		Problem: "A2A", Capacity: 10, Sizes: []assign.Size{4, 4, 1}, TimeoutMS: -1,
+	}}
+	s1.journalJobSubmit("j-queued", jobTypePlan, queuedBody)
+	crash(t, s1, srv1)
+
+	s2, srv2, c2 := bootDurable(t, dataDir)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Close()
+		s2.Close(dctx)
+	}()
+	if _, err := s2.jobs.Get(done.ID); !errors.Is(err, jobs.ErrNotFound) {
+		t.Fatalf("finished job %s re-appeared after recovery: %v", done.ID, err)
+	}
+	job, err := c2.WaitJob(ctx, "j-queued", 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("recovered job: %v", err)
+	}
+	if job.State != "succeeded" {
+		t.Fatalf("recovered job finished as %q: %+v", job.State, job.Error)
+	}
+}
+
+// TestShutdownDrainPreservesState: a clean Close must behave like the WAL
+// contract promises — drained sessions and still-queued jobs survive into
+// the next boot (Close is a planned restart, not a data-loss event).
+func TestShutdownDrainPreservesState(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	s1, srv1, c1 := bootDurable(t, dataDir)
+
+	sess, err := c1.CreateSession(ctx, plandclient.SessionCreateRequest{
+		Capacity: 64, Sizes: []assign.Size{8, 5, 7}, TimeoutMS: -1,
+	})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	wantFP := sessionFingerprint(t, s1, sess.ID)
+	srv1.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := s1.Close(dctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	cancel()
+
+	s2, srv2, _ := bootDurable(t, dataDir)
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Close()
+		s2.Close(dctx)
+	}()
+	if got := sessionFingerprint(t, s2, sess.ID); got != wantFP {
+		t.Fatalf("clean-restart fingerprint %#x, pre-restart %#x", got, wantFP)
+	}
+}

@@ -53,6 +53,12 @@
 // On SIGINT/SIGTERM pland stops accepting work, drains in-flight requests
 // and jobs for up to -drain, and marks whatever could not finish as failed
 // with a shutdown reason rather than dropping it.
+//
+// With -data-dir, sessions and queued v2 jobs survive restarts and crashes:
+// every applied session delta and accepted job is journaled to a write-ahead
+// log under the directory (-fsync picks the durability/latency trade-off),
+// periodic checkpoints keep the log compact, and the next boot replays the
+// log — fingerprint-verified and audited — before the listener opens.
 package main
 
 import (
@@ -67,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/wal"
 	"repro/pkg/assign"
 )
 
@@ -89,6 +96,10 @@ func main() {
 		maxSessIn  = fs.Int("max-session-inputs", 10_000, "largest live input count per session")
 		debugAddr  = fs.String("debug-addr", "", "separate listener for /metrics and /debug/pprof (default: served on -addr)")
 		logFormat  = fs.String("log-format", "text", `log output format: "text" or "json"`)
+		dataDir    = fs.String("data-dir", "", "directory for the durability WAL; empty runs in-memory only")
+		fsyncMode  = fs.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "never"`)
+		fsyncEvery = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync=interval")
+		ckptEvery  = fs.Duration("checkpoint-interval", time.Minute, "WAL snapshot-checkpoint and compaction cadence")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -105,28 +116,44 @@ func main() {
 	}
 	logger := slog.New(lh)
 	slog.SetDefault(logger)
+	fsyncPolicy, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pland: %v\n", err)
+		os.Exit(2)
+	}
 	entries := *cacheSize
 	if entries == 0 {
 		entries = -1 // PlannerConfig uses negative to disable, 0 for the default
 	}
 	pl := assign.NewPlanner(assign.PlannerConfig{CacheEntries: entries})
-	srv := newServer(pl, serverConfig{
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		MaxBodyBytes:     *maxBody,
-		MaxInputs:        *maxInputs,
-		MaxExecInputs:    *maxExec,
-		JobWorkers:       *jobWorkers,
-		QueueDepth:       *queueDepth,
-		ResultTTL:        *resultTTL,
-		MaxJobTimeout:    *maxJobTO,
-		MaxSessions:      *maxSess,
-		MaxSessionInputs: *maxSessIn,
-		DebugAddr:        *debugAddr,
-		Logger:           logger,
+	// With -data-dir, whatever a previous process journaled is recovered,
+	// verified, and audited here, before the listener opens.
+	srv, err := newDurableServer(pl, serverConfig{
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxBodyBytes:       *maxBody,
+		MaxInputs:          *maxInputs,
+		MaxExecInputs:      *maxExec,
+		JobWorkers:         *jobWorkers,
+		QueueDepth:         *queueDepth,
+		ResultTTL:          *resultTTL,
+		MaxJobTimeout:      *maxJobTO,
+		MaxSessions:        *maxSess,
+		MaxSessionInputs:   *maxSessIn,
+		DebugAddr:          *debugAddr,
+		Logger:             logger,
+		DataDir:            *dataDir,
+		Fsync:              fsyncPolicy,
+		FsyncInterval:      *fsyncEvery,
+		CheckpointInterval: *ckptEvery,
 	})
+	if err != nil {
+		logger.Error("opening data dir", "dir", *dataDir, "error", err)
+		os.Exit(1)
+	}
 	logger.Info("listening", "addr", *addr, "cache_entries", *cacheSize,
-		"default_budget", *timeout, "queue_depth", *queueDepth)
+		"default_budget", *timeout, "queue_depth", *queueDepth,
+		"data_dir", *dataDir, "fsync", fsyncPolicy.String())
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

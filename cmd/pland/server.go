@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/wal"
 	"repro/pkg/assign"
 )
 
@@ -40,6 +41,13 @@ type serverConfig struct {
 	DebugAddr string
 	// Logger receives one structured line per request; nil uses slog.Default.
 	Logger *slog.Logger
+	// DataDir, when non-empty, makes sessions and queued jobs durable: a WAL
+	// lives under it, boot replays it (see newDurableServer), and Fsync,
+	// FsyncInterval, and CheckpointInterval shape the log's disciplines.
+	DataDir            string
+	Fsync              wal.Policy
+	FsyncInterval      time.Duration
+	CheckpointInterval time.Duration
 }
 
 // server is the HTTP front end over the assign SDK. It is a plain
@@ -55,6 +63,14 @@ type server struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*sessionEntry
+
+	// Durability (nil/zero without -data-dir; see durability.go).
+	wal            *wal.Log
+	walMu          sync.Mutex
+	walJobs        map[string]walJob
+	checkpointStop chan struct{}
+	checkpointOnce sync.Once
+	checkpointWG   sync.WaitGroup
 }
 
 func newServer(pl *assign.Planner, cfg serverConfig) *server {
@@ -92,18 +108,20 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 		cfg.Logger = slog.Default()
 	}
 	s := &server{
-		planner: pl,
-		jobs: jobs.New(jobs.Config{
-			Workers:    cfg.JobWorkers,
-			QueueDepth: cfg.QueueDepth,
-			ResultTTL:  cfg.ResultTTL,
-		}),
+		planner:  pl,
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		log:      cfg.Logger,
 		started:  time.Now(),
 		sessions: make(map[string]*sessionEntry),
+		walJobs:  make(map[string]walJob),
 	}
+	s.jobs = jobs.New(jobs.Config{
+		Workers:    cfg.JobWorkers,
+		QueueDepth: cfg.QueueDepth,
+		ResultTTL:  cfg.ResultTTL,
+		OnFinish:   s.jobFinished,
+	})
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/execute", s.handleExecute)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -126,9 +144,23 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.S
 
 // Close drains the job queue — in-flight jobs that outlive ctx are marked
 // failed with a shutdown reason — and then shuts every live session down.
+// With a WAL, a final checkpoint runs first (so the compacted log carries the
+// complete live state), drained jobs get no done records, and sessions get no
+// close records: both re-appear intact on the next boot.
 func (s *server) Close(ctx context.Context) error {
+	if s.wal != nil {
+		s.stopCheckpointer()
+		if err := s.checkpoint(); err != nil {
+			s.log.Warn("final wal checkpoint", "error", err)
+		}
+	}
 	err := s.jobs.Shutdown(ctx)
 	s.closeSessions()
+	if s.wal != nil {
+		if cerr := s.wal.Close(); cerr != nil {
+			s.log.Warn("wal close", "error", cerr)
+		}
+	}
 	return err
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -147,6 +148,9 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessMu.Unlock()
 
+	// The ID is drawn before NewSession so the journal can stamp the very
+	// first snapshot (NewSession journals one as the session goes live).
+	id := newSessionID()
 	opts := []assign.Option{
 		assign.Capacity(body.Capacity),
 		assign.ManualRebuild(), // rebuilds run on the shared job queue
@@ -161,6 +165,14 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	if body.NoCache {
 		opts = append(opts, assign.NoCache())
 	}
+	if s.wal != nil {
+		meta, err := json.Marshal(sessionMeta{TimeoutMS: body.TimeoutMS, NoCache: body.NoCache})
+		if err != nil {
+			writeAPIError(w, badRequestf("encoding session meta: %v", err))
+			return
+		}
+		opts = append(opts, assign.Journal(&sessionJournal{sid: id, meta: meta, log: s.wal}))
+	}
 	// The initial plan runs synchronously under the request budget.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 	defer cancel()
@@ -170,11 +182,14 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	entry := &sessionEntry{id: newSessionID(), sess: sess}
+	entry := &sessionEntry{id: id, sess: sess}
 	s.sessMu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions { // re-check: creations may race
 		s.sessMu.Unlock()
 		sess.Close()
+		// NewSession already journaled the initial snapshot; without a close
+		// record recovery would resurrect this never-served session.
+		s.journalSessionClose(id)
 		writeAPIError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeSessionLimit,
 			Message: fmt.Sprintf("session limit (%d) reached; DELETE one first", s.cfg.MaxSessions)})
 		return
@@ -226,6 +241,10 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		stats := entry.sess.Stats()
 		s.cancelRebuild(entry) // don't leave a zombie solve on the job queue
 		entry.sess.Close()
+		// The close record goes in only after Close: a checkpoint snapshot
+		// either landed before it (superseded by the close) or hit ErrClosed,
+		// so recovery can never resurrect a deleted session.
+		s.journalSessionClose(id)
 		writeJSON(w, http.StatusOK, sessionResponse{ID: entry.id, Stats: stats})
 	default:
 		writeAPIError(w, methodNotAllowed("GET, PATCH, or DELETE"))

@@ -105,48 +105,9 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, aerr)
 		return
 	}
-	var run jobs.Func
-	switch body.Type {
-	case jobTypePlan:
-		if body.Plan == nil {
-			writeAPIError(w, badRequestf(`job type "plan" needs a "plan" payload`))
-			return
-		}
-		req := *body.Plan
-		if aerr := s.validatePlan(req); aerr != nil {
-			writeAPIError(w, aerr)
-			return
-		}
-		run = func(ctx context.Context) (any, error) {
-			jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
-			defer cancel()
-			resp, aerr := s.runPlan(jctx, req, s.cfg.MaxJobTimeout)
-			if aerr != nil {
-				return nil, aerr
-			}
-			return resp, nil
-		}
-	case jobTypeExecute:
-		if body.Execute == nil {
-			writeAPIError(w, badRequestf(`job type "execute" needs an "execute" payload`))
-			return
-		}
-		req := *body.Execute
-		if aerr := s.validateExecute(req); aerr != nil {
-			writeAPIError(w, aerr)
-			return
-		}
-		run = func(ctx context.Context) (any, error) {
-			jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
-			defer cancel()
-			resp, aerr := s.runExecute(jctx, req, s.cfg.MaxJobTimeout)
-			if aerr != nil {
-				return nil, aerr
-			}
-			return resp, nil
-		}
-	default:
-		writeAPIError(w, badRequestf(`job type must be "plan" or "execute", got %q`, body.Type))
+	run, aerr := s.buildJobFunc(body)
+	if aerr != nil {
+		writeAPIError(w, aerr)
 		return
 	}
 	snap, err := s.jobs.Submit(body.Type, run)
@@ -163,7 +124,52 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()})
 		return
 	}
+	s.journalJobSubmit(snap.ID, body.Type, body)
 	writeJSON(w, http.StatusAccepted, jobView(snap))
+}
+
+// buildJobFunc validates a job payload and binds it into the closure the job
+// queue runs. Submission and boot-time recovery share it, so a journaled job
+// re-enqueues with exactly the semantics it was accepted with.
+func (s *server) buildJobFunc(body jobSubmitRequest) (jobs.Func, *apiError) {
+	switch body.Type {
+	case jobTypePlan:
+		if body.Plan == nil {
+			return nil, badRequestf(`job type "plan" needs a "plan" payload`)
+		}
+		req := *body.Plan
+		if aerr := s.validatePlan(req); aerr != nil {
+			return nil, aerr
+		}
+		return func(ctx context.Context) (any, error) {
+			jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
+			defer cancel()
+			resp, aerr := s.runPlan(jctx, req, s.cfg.MaxJobTimeout)
+			if aerr != nil {
+				return nil, aerr
+			}
+			return resp, nil
+		}, nil
+	case jobTypeExecute:
+		if body.Execute == nil {
+			return nil, badRequestf(`job type "execute" needs an "execute" payload`)
+		}
+		req := *body.Execute
+		if aerr := s.validateExecute(req); aerr != nil {
+			return nil, aerr
+		}
+		return func(ctx context.Context) (any, error) {
+			jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
+			defer cancel()
+			resp, aerr := s.runExecute(jctx, req, s.cfg.MaxJobTimeout)
+			if aerr != nil {
+				return nil, aerr
+			}
+			return resp, nil
+		}, nil
+	default:
+		return nil, badRequestf(`job type must be "plan" or "execute", got %q`, body.Type)
+	}
 }
 
 // handleJob serves GET and DELETE /v2/jobs/{id}.

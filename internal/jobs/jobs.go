@@ -65,6 +65,11 @@ type Config struct {
 	// ResultTTL is how long a finished job (and its result) is retained for
 	// polling; 0 means 15 minutes.
 	ResultTTL time.Duration
+	// OnFinish, when non-nil, observes every terminal transition with the
+	// job's final snapshot. It runs under the manager lock — implementations
+	// must be fast and must not call back into the Manager. cmd/pland uses
+	// it to mark journaled jobs done in the WAL.
+	OnFinish func(Snapshot)
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +207,43 @@ func (m *Manager) Submit(kind string, fn Func) (Snapshot, error) {
 	return snap, nil
 }
 
+// Restore enqueues fn as a job under a caller-chosen ID — the recovery path
+// for journaled submissions that never finished before a crash, which must
+// come back under the IDs clients already hold. It behaves like Submit
+// otherwise; an ID already present is rejected.
+func (m *Manager) Restore(id, kind string, fn Func) (Snapshot, error) {
+	if id == "" {
+		return Snapshot{}, fmt.Errorf("jobs: empty job ID")
+	}
+	if fn == nil {
+		return Snapshot{}, fmt.Errorf("jobs: nil Func")
+	}
+	j := &job{id: id, kind: kind, fn: fn, state: StateQueued, created: time.Now()}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, ErrShutdown
+	}
+	if _, dup := m.jobs[id]; dup {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("jobs: job %s already exists", id)
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		m.mu.Unlock()
+		obsRejected.Inc()
+		return Snapshot{}, ErrQueueFull
+	}
+	m.pending = append(m.pending, j)
+	m.jobs[j.id] = j
+	m.submitted++
+	obsSubmitted.Inc()
+	obsQueueDepth.Inc()
+	snap := j.snapshot()
+	m.cond.Signal()
+	m.mu.Unlock()
+	return snap, nil
+}
+
 // Get returns the job's current snapshot. Expired jobs are evicted lazily,
 // so a finished job older than the TTL reports ErrNotFound exactly as if
 // the janitor had already swept it.
@@ -278,25 +320,33 @@ type Stats struct {
 	Canceled  int64 `json:"canceled"`
 }
 
-// Stats snapshots the manager's counters.
+// Stats snapshots the manager's counters. Expired finished jobs are swept
+// here under the same lock, so Retained never counts entries Get would
+// already report ErrNotFound for — the census and the API agree.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	now := time.Now()
 	st := Stats{
 		QueueDepth:    len(m.pending),
 		QueueCapacity: m.cfg.QueueDepth,
 		Workers:       m.cfg.Workers,
-		Retained:      len(m.jobs),
 		Submitted:     m.submitted,
 		Succeeded:     m.succeeded,
 		Failed:        m.failed,
 		Canceled:      m.canceled,
 	}
-	for _, j := range m.jobs {
+	for id, j := range m.jobs {
+		if j.state.Terminal() && now.After(j.expiresAt) {
+			delete(m.jobs, id)
+			obsExpired.Inc()
+			continue
+		}
 		if j.state == StateRunning {
 			st.Running++
 		}
 	}
+	st.Retained = len(m.jobs)
 	return st
 }
 
@@ -422,6 +472,9 @@ func (m *Manager) finishLocked(j *job, s State, result any, err error) {
 	case StateCanceled:
 		m.canceled++
 		obsFinCanceled.Inc()
+	}
+	if m.cfg.OnFinish != nil {
+		m.cfg.OnFinish(j.snapshot())
 	}
 }
 

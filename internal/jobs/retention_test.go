@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitTerminal polls Get until the job reports a terminal state.
+func waitTerminal(t *testing.T, m *Manager, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished (state %s)", id, snap.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStatsSweepsExpired is the regression test for the Stats/Get
+// disagreement: Stats used to count expired-but-unswept finished jobs in
+// Retained while Get already reported ErrNotFound for them. Stats must sweep
+// under the same lock so the census and the API agree.
+func TestStatsSweepsExpired(t *testing.T) {
+	// A 1h TTL keeps the janitor (TTL/4, capped at 30s) out of the window;
+	// the test forces expiry by hand so only Stats itself can sweep.
+	m := New(Config{Workers: 1, QueueDepth: 4, ResultTTL: time.Hour})
+	defer m.Shutdown(context.Background())
+
+	snap, err := m.Submit("t", func(context.Context) (any, error) { return 1, nil })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, m, snap.ID)
+
+	m.mu.Lock()
+	m.jobs[snap.ID].expiresAt = time.Now().Add(-time.Second)
+	m.mu.Unlock()
+
+	if st := m.Stats(); st.Retained != 0 {
+		t.Fatalf("Stats().Retained = %d for an expired job Get would refuse, want 0", st.Retained)
+	}
+	if _, err := m.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after expiry = %v, want ErrNotFound", err)
+	}
+}
+
+// TestOnFinishHook pins the OnFinish contract: it fires exactly once per
+// finished job, with the terminal snapshot, including jobs the shutdown
+// drain fails (those carry ErrShutdown so WAL owners can skip them).
+func TestOnFinishHook(t *testing.T) {
+	var mu sync.Mutex
+	finished := make(map[string]Snapshot)
+	m := New(Config{Workers: 1, QueueDepth: 4, ResultTTL: time.Hour,
+		OnFinish: func(s Snapshot) {
+			mu.Lock()
+			finished[s.ID] = s
+			mu.Unlock()
+		}})
+
+	snap, err := m.Submit("ok", func(context.Context) (any, error) { return "done", nil })
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitTerminal(t, m, snap.ID)
+	mu.Lock()
+	got, ok := finished[snap.ID]
+	mu.Unlock()
+	if !ok || got.State != StateSucceeded {
+		t.Fatalf("OnFinish for succeeded job: got %+v, fired=%v", got, ok)
+	}
+
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestRestore re-enqueues a job under a caller-chosen ID, as boot-time WAL
+// recovery does, and refuses duplicates.
+func TestRestore(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 4, ResultTTL: time.Hour})
+	defer m.Shutdown(context.Background())
+
+	snap, err := m.Restore("job-recovered-1", "plan", func(context.Context) (any, error) { return 7, nil })
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if snap.ID != "job-recovered-1" || snap.Kind != "plan" {
+		t.Fatalf("restored snapshot = %+v", snap)
+	}
+	fin := waitTerminal(t, m, "job-recovered-1")
+	if fin.State != StateSucceeded || fin.Result != 7 {
+		t.Fatalf("restored job finished as %+v", fin)
+	}
+
+	if _, err := m.Restore("job-recovered-1", "plan", func(context.Context) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("duplicate Restore succeeded, want error")
+	}
+	if _, err := m.Restore("", "plan", func(context.Context) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("empty-ID Restore succeeded, want error")
+	}
+	if _, err := m.Restore("job-x", "plan", nil); err == nil {
+		t.Fatal("nil-fn Restore succeeded, want error")
+	}
+}

@@ -385,6 +385,7 @@ func (s *Session) finishDeltaLocked(rep *DeltaReport) {
 	obsMovedBytes.Add(uint64(rep.MovedBytes))
 	obsDriftBytes.Add(uint64(rep.MovedExistingBytes + rep.FreedBytes))
 	s.version++
+	s.journalDeltaLocked(rep)
 	rep.RebuildTriggered = s.maybeAutoRebuildLocked()
 }
 
@@ -398,10 +399,15 @@ func (s *Session) maybeAutoRebuildLocked() bool {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		// The flag must clear even when rebuild panics (replan panics are
+		// recovered into errors, but defend the flag regardless), or every
+		// later rebuild would see ErrRebuildInFlight forever.
+		defer func() {
+			s.mu.Lock()
+			s.rebuilding = false
+			s.mu.Unlock()
+		}()
 		_, _ = s.rebuild(s.baseCtx) // failures are recorded in the stats
-		s.mu.Lock()
-		s.rebuilding = false
-		s.mu.Unlock()
 	}()
 	return true
 }

@@ -1,0 +1,100 @@
+package stream
+
+// In-package lifecycle regression tests: they reach the session's base
+// context and the construction-abort hook, which the public surface
+// deliberately does not expose.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/a2a"
+	"repro/internal/core"
+)
+
+func okReplan(_ context.Context, sizes []core.Size, q core.Size) (*core.MappingSchema, error) {
+	set, err := core.NewInputSet(sizes)
+	if err != nil {
+		return nil, err
+	}
+	return a2a.Solve(set, q)
+}
+
+// TestNewSessionAbortCancelsContext is the regression test for the
+// construction context leak: every error return after the base context
+// exists must cancel it, or each rejected NewSession leaks a cancelable
+// context (and its goroutine-visible resources) forever.
+func TestNewSessionAbortCancelsContext(t *testing.T) {
+	var aborted []*Session
+	testHookSessionAbort = func(s *Session) { aborted = append(aborted, s) }
+	defer func() { testHookSessionAbort = nil }()
+
+	replanErr := errors.New("replan refused")
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"replan error", Config{
+			Capacity: 10,
+			Initial:  []core.Size{3, 3},
+			Replan: func(context.Context, []core.Size, core.Size) (*core.MappingSchema, error) {
+				return nil, replanErr
+			},
+		}},
+		{"non-positive initial size", Config{
+			Capacity: 10,
+			Initial:  []core.Size{3, 0},
+			Replan:   okReplan,
+		}},
+		{"infeasible initial", Config{
+			Capacity: 10,
+			Initial:  []core.Size{9, 9},
+			Replan:   okReplan,
+		}},
+	}
+	for _, tc := range cases {
+		aborted = aborted[:0]
+		if _, err := NewSession(context.Background(), tc.cfg); err == nil {
+			t.Fatalf("%s: NewSession succeeded, want error", tc.name)
+		}
+		if len(aborted) != 1 {
+			t.Fatalf("%s: abort hook saw %d sessions, want 1", tc.name, len(aborted))
+		}
+		s := aborted[0]
+		select {
+		case <-s.baseCtx.Done():
+		default:
+			t.Fatalf("%s: base context still live after failed construction (leak)", tc.name)
+		}
+		if cause := context.Cause(s.baseCtx); !errors.Is(cause, errSessionAborted) {
+			t.Fatalf("%s: cancellation cause = %v, want errSessionAborted", tc.name, cause)
+		}
+	}
+}
+
+// TestNewSessionLiveContext pins the complement: a session that goes live
+// must NOT have its context canceled by the abort path, and Close must
+// cancel it with ErrClosed.
+func TestNewSessionLiveContext(t *testing.T) {
+	testHookSessionAbort = func(*Session) { t.Error("abort hook fired for a live session") }
+	defer func() { testHookSessionAbort = nil }()
+
+	s, err := NewSession(context.Background(), Config{
+		Capacity: 10, Initial: []core.Size{3, 3}, Replan: okReplan,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	select {
+	case <-s.baseCtx.Done():
+		t.Fatal("live session's base context is canceled")
+	default:
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if cause := context.Cause(s.baseCtx); !errors.Is(cause, ErrClosed) {
+		t.Fatalf("cancellation cause after Close = %v, want ErrClosed", cause)
+	}
+}

@@ -38,9 +38,17 @@ type RebuildReport struct {
 // schema's reducers keep slack for future arrivals; an instance that is only
 // feasible at the full capacity is retried there (correctness beats
 // headroom).
-func (s *Session) replan(ctx context.Context, sizes []core.Size) (*core.MappingSchema, error) {
+func (s *Session) replan(ctx context.Context, sizes []core.Size) (planned *core.MappingSchema, err error) {
+	// ReplanFunc is pluggable; a panic inside it must surface as an ordinary
+	// replan error (counted in rebuildFailures by the caller), not tear down
+	// the process or leave session state latched.
+	defer func() {
+		if r := recover(); r != nil {
+			planned, err = nil, fmt.Errorf("stream: replan panicked: %v", r)
+		}
+	}()
 	qEff := s.planCapacity()
-	planned, err := s.cfg.Replan(ctx, sizes, qEff)
+	planned, err = s.cfg.Replan(ctx, sizes, qEff)
 	if err != nil && qEff < s.cfg.Capacity && errors.Is(err, core.ErrInfeasible) {
 		planned, err = s.cfg.Replan(ctx, sizes, s.cfg.Capacity)
 	}
@@ -62,11 +70,15 @@ func (s *Session) Rebuild(ctx context.Context) (*RebuildReport, error) {
 	}
 	s.rebuilding = true
 	s.mu.Unlock()
-	rep, err := s.rebuild(ctx)
-	s.mu.Lock()
-	s.rebuilding = false
-	s.mu.Unlock()
-	return rep, err
+	// Clear the flag via defer: if rebuild panics (it should not — replan
+	// panics are recovered into errors), the session must not report
+	// ErrRebuildInFlight forever after.
+	defer func() {
+		s.mu.Lock()
+		s.rebuilding = false
+		s.mu.Unlock()
+	}()
+	return s.rebuild(ctx)
 }
 
 // rebuild snapshots, replans outside the lock, and swaps. The caller owns
@@ -110,6 +122,12 @@ func (s *Session) rebuild(ctx context.Context) (*RebuildReport, error) {
 	s.st.rebuilds++
 	s.st.lastMigration = rep.MigrationBytes
 	s.st.movedBytes += rep.MigrationBytes
+	// A swap's outcome depends on the portfolio race, so it is not replay-
+	// deterministic; journal the post-swap state in full.
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.Snapshot(s.stateLocked())
+		s.sinceSnap = 0
+	}
 	obsRebuilds.Inc()
 	obsRebuildSeconds.ObserveDuration(rep.Elapsed)
 	obsMigrationBytes.Observe(float64(rep.MigrationBytes))

@@ -1,0 +1,58 @@
+package stream_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestRebuildPanicDoesNotLatch is the regression test for the latched
+// rebuild flag: a ReplanFunc that panics used to leave the session's
+// rebuilding flag set forever, so every later Rebuild returned
+// ErrRebuildInFlight. The panic must surface as an ordinary rebuild error,
+// count as a rebuild failure, and leave the session able to rebuild again.
+func TestRebuildPanicDoesNotLatch(t *testing.T) {
+	var panicNext atomic.Bool
+	replan := func(ctx context.Context, sizes []core.Size, q core.Size) (*core.MappingSchema, error) {
+		if panicNext.Load() {
+			panic("solver exploded")
+		}
+		return solveReplan(ctx, sizes, q)
+	}
+	s, err := stream.NewSession(context.Background(), stream.Config{
+		Capacity: 64,
+		Initial:  []core.Size{8, 8, 8, 8},
+		Replan:   replan,
+	})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer s.Close()
+
+	panicNext.Store(true)
+	if _, err := s.Rebuild(context.Background()); err == nil {
+		t.Fatal("Rebuild with panicking replan succeeded, want error")
+	} else if errors.Is(err, stream.ErrRebuildInFlight) {
+		t.Fatalf("Rebuild returned ErrRebuildInFlight, want the recovered panic: %v", err)
+	} else if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("Rebuild error = %v, want the recovered panic", err)
+	}
+	if got := s.Stats().RebuildFailures; got != 1 {
+		t.Fatalf("RebuildFailures after panic = %d, want 1", got)
+	}
+
+	// The flag must not be latched: a healthy replan rebuilds fine.
+	panicNext.Store(false)
+	if _, err := s.Rebuild(context.Background()); err != nil {
+		t.Fatalf("Rebuild after recovered panic: %v (rebuilding flag latched?)", err)
+	}
+	if got := s.Stats().Rebuilds; got != 1 {
+		t.Fatalf("Rebuilds after recovery = %d, want 1", got)
+	}
+	audit(t, s)
+}

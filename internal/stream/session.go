@@ -26,6 +26,10 @@ const (
 	// DefaultRebuildThreshold is the drift ratio (drift bytes over live
 	// bytes) past which a rebuild is requested.
 	DefaultRebuildThreshold = 1.0
+	// DefaultSnapshotEvery is how many journaled deltas may accumulate
+	// before the session writes a fresh full-state snapshot to its journal,
+	// bounding how much recovery ever has to replay.
+	DefaultSnapshotEvery = 1024
 )
 
 // Config configures NewSession.
@@ -57,6 +61,15 @@ type Config struct {
 	// once and imports the result, so the session starts from a portfolio-
 	// quality schema instead of m incremental repairs.
 	Initial []core.Size
+	// Journal, when non-nil, receives the session's durability stream: every
+	// applied delta plus full-state snapshots at creation, after rebuild
+	// swaps, and every SnapshotEvery deltas. Calls happen under the session
+	// lock; see Journal's contract.
+	Journal Journal
+	// SnapshotEvery is the periodic-snapshot cadence in deltas. 0 means
+	// DefaultSnapshotEvery; negative disables periodic snapshots (creation
+	// and rebuild snapshots still happen).
+	SnapshotEvery int
 }
 
 // Session errors.
@@ -121,11 +134,22 @@ type Session struct {
 	rebuilding bool
 	closed     bool
 	st         counters
+	// sinceSnap counts journaled deltas since the last journal snapshot.
+	sinceSnap int
 
 	baseCtx context.Context
-	cancel  context.CancelFunc
+	cancel  context.CancelCauseFunc
 	wg      sync.WaitGroup
 }
+
+// errSessionAborted is the cancellation cause of a base context whose
+// session never went live (construction or restore failed).
+var errSessionAborted = errors.New("stream: session construction failed")
+
+// testHookSessionAbort, when non-nil, observes sessions whose construction
+// failed after the base context existed; the leak regression test asserts
+// the context was canceled rather than leaked.
+var testHookSessionAbort func(*Session)
 
 // NewSession builds a session for capacity cfg.Capacity. When cfg.Initial is
 // non-empty the initial instance is planned through cfg.Replan under ctx and
@@ -143,9 +167,22 @@ func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 		assign:     make(map[InputID][]int),
 		assignBits: make(map[InputID]*core.CoverSet),
 	}
-	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.baseCtx, s.cancel = context.WithCancelCause(context.Background())
+	// Every error return below must release the base context's resources, or
+	// each rejected session request leaks a cancelable context.
+	live := false
+	defer func() {
+		if !live {
+			s.cancel(errSessionAborted)
+			if testHookSessionAbort != nil {
+				testHookSessionAbort(s)
+			}
+		}
+	}()
 	if len(cfg.Initial) == 0 {
+		s.journalInitialSnapshot()
 		obsSessions.Inc()
+		live = true
 		return s, nil
 	}
 	var top1, top2 core.Size
@@ -178,8 +215,18 @@ func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 	s.next = len(cfg.Initial)
 	s.maxLive = top1
 	s.swapLocked(planned, snapIDs) // no concurrency yet, lock not needed
+	s.journalInitialSnapshot()
 	obsSessions.Inc()
+	live = true
 	return s, nil
+}
+
+// journalInitialSnapshot records the session's birth state so recovery has a
+// base to replay onto. NewSession has no concurrency yet, so no lock.
+func (s *Session) journalInitialSnapshot() {
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.Snapshot(s.stateLocked())
+	}
 }
 
 // Close stops the session: the in-flight background rebuild (if any) is
@@ -193,7 +240,7 @@ func (s *Session) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	obsSessions.Dec()
-	s.cancel()
+	s.cancel(ErrClosed)
 	s.wg.Wait()
 	return nil
 }

@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Policy is the fsync discipline of Append.
+type Policy int
+
+const (
+	// SyncInterval (the default) flushes and fsyncs on a timer; a crash can
+	// lose at most the last FsyncInterval of acked appends.
+	SyncInterval Policy = iota
+	// SyncAlways fsyncs every append before it returns.
+	SyncAlways
+	// SyncNever leaves flushing to segment rolls, checkpoints, Close, and
+	// the OS page cache.
+	SyncNever
+)
+
+// ParsePolicy maps the -fsync flag values onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: fsync policy must be always, interval, or never, got %q", s)
+	}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// Options configures Open. The zero value uses the defaults.
+type Options struct {
+	// Fsync is the append durability policy; see Policy.
+	Fsync Policy
+	// FsyncInterval is the SyncInterval flush cadence; 0 means 100ms.
+	FsyncInterval time.Duration
+	// SegmentBytes is the size past which a segment rolls; 0 means 16MB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is one segmented append-only log in a directory. Appends serialize
+// under one mutex; the first I/O error makes the log sticky-failed (every
+// later append returns it) rather than risking a log with holes.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	bw       *bufio.Writer
+	scratch  []byte
+	seg      uint64   // current segment index
+	segs     []uint64 // segments on disk, ascending, current last
+	segBytes int64
+	dirty    bool
+	sticky   error
+	closed   bool
+
+	prior []uint64 // segments that predate Open; Recover replays them
+
+	stop    chan struct{}
+	flusher sync.WaitGroup
+}
+
+// segPath names segment idx inside dir.
+func segPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016d.wal", idx))
+}
+
+// Open creates (or reopens) the log in dir: pre-existing segments are kept
+// for Recover and appends go to a fresh segment above them, so recovery
+// never reads and writes the same file.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var prior []uint64
+	for _, name := range names {
+		base := strings.TrimSuffix(filepath.Base(name), ".wal")
+		idx, err := strconv.ParseUint(base, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unrecognized segment file %s", name)
+		}
+		prior = append(prior, idx)
+	}
+	sort.Slice(prior, func(i, j int) bool { return prior[i] < prior[j] })
+	l := &Log{
+		dir:   dir,
+		opts:  opts.withDefaults(),
+		prior: prior,
+		seg:   1,
+		stop:  make(chan struct{}),
+	}
+	if n := len(prior); n > 0 {
+		l.seg = prior[n-1] + 1
+	}
+	if err := l.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	l.segs = append(append([]uint64(nil), prior...), l.seg)
+	obsSegments.Set(int64(len(l.segs)))
+	if l.opts.Fsync == SyncInterval {
+		l.flusher.Add(1)
+		go l.runFlusher()
+	}
+	return l, nil
+}
+
+// openSegmentLocked creates segment l.seg and writes its magic.
+func (l *Log) openSegmentLocked() error {
+	f, err := os.OpenFile(segPath(l.dir, l.seg), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment %d: %w", l.seg, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.WriteString(segmentMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment %d magic: %w", l.seg, err)
+	}
+	l.f, l.bw, l.segBytes = f, bw, int64(len(segmentMagic))
+	l.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the directory so segment creations and deletions are
+// themselves durable; best-effort (some filesystems refuse dir fsync).
+func (l *Log) syncDir() {
+	if d, err := os.Open(l.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Segments returns how many segment files are on disk; 1 means nothing to
+// compact (checkpoint loops use it to skip idle ticks).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Err returns the sticky failure, nil while the log is healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sticky
+}
+
+// Append frames the record and writes it under the fsync policy. The first
+// failure sticks: the log refuses further appends so the on-disk prefix
+// stays a prefix of what callers think happened.
+func (l *Log) Append(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(rec)
+}
+
+func (l *Log) appendLocked(rec *Record) error {
+	if l.sticky != nil {
+		obsAppendFailures.Inc()
+		return l.sticky
+	}
+	var err error
+	l.scratch, err = encodeFrame(l.scratch[:0], rec)
+	if err != nil {
+		obsAppendFailures.Inc()
+		return err // an encoding error is the record's fault, not the log's
+	}
+	if l.segBytes > int64(len(segmentMagic)) && l.segBytes+int64(len(l.scratch)) > l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.bw.Write(l.scratch); err != nil {
+		return l.failLocked(fmt.Errorf("wal: appending to segment %d: %w", l.seg, err))
+	}
+	l.segBytes += int64(len(l.scratch))
+	l.dirty = true
+	obsAppendedRecords.Inc()
+	obsAppendedBytes.Add(uint64(len(l.scratch)))
+	if rec.Kind == KindSessionSnapshot {
+		obsSnapshots.Inc()
+	}
+	if l.opts.Fsync == SyncAlways {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failLocked records the first I/O error and returns it.
+func (l *Log) failLocked(err error) error {
+	if l.sticky == nil {
+		l.sticky = err
+	}
+	obsAppendFailures.Inc()
+	return err
+}
+
+// flushLocked drains the buffer and fsyncs the current segment.
+func (l *Log) flushLocked() error {
+	if l.sticky != nil {
+		return l.sticky
+	}
+	if err := l.bw.Flush(); err != nil {
+		return l.failLocked(fmt.Errorf("wal: flushing segment %d: %w", l.seg, err))
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return l.failLocked(fmt.Errorf("wal: fsyncing segment %d: %w", l.seg, err))
+	}
+	obsFsyncs.Inc()
+	obsFsyncSeconds.ObserveSince(start)
+	l.dirty = false
+	return nil
+}
+
+// rollLocked seals the current segment and opens the next one.
+func (l *Log) rollLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return l.failLocked(fmt.Errorf("wal: closing segment %d: %w", l.seg, err))
+	}
+	l.seg++
+	if err := l.openSegmentLocked(); err != nil {
+		return l.failLocked(err)
+	}
+	l.segs = append(l.segs, l.seg)
+	obsSegments.Set(int64(len(l.segs)))
+	return nil
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+// BeginCheckpoint seals the current segment and opens the barrier segment
+// the checkpoint's snapshots will land in, returning its index for
+// EndCheckpoint. Between the two calls the owner re-journals the complete
+// live state (see the package documentation).
+func (l *Log) BeginCheckpoint() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sticky != nil {
+		return 0, l.sticky
+	}
+	if err := l.rollLocked(); err != nil {
+		return 0, err
+	}
+	return l.seg, nil
+}
+
+// EndCheckpoint fsyncs the barrier segment and deletes every segment below
+// the barrier — each is fully covered by the state just re-journaled.
+func (l *Log) EndCheckpoint(barrier uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	kept := l.segs[:0]
+	removed := 0
+	for _, idx := range l.segs {
+		if idx >= barrier {
+			kept = append(kept, idx)
+			continue
+		}
+		if err := os.Remove(segPath(l.dir, idx)); err != nil && !os.IsNotExist(err) {
+			kept = append(kept, idx) // retried by the next checkpoint
+			continue
+		}
+		removed++
+	}
+	l.segs = kept
+	l.syncDir()
+	obsSegments.Set(int64(len(l.segs)))
+	obsCompactedSegments.Add(uint64(removed))
+	obsCheckpoints.Inc()
+	return nil
+}
+
+// Close stops the background flusher, flushes, fsyncs, and closes the
+// current segment. Later appends return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stop)
+	l.flusher.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.flushLocked()
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if l.sticky == nil {
+		l.sticky = ErrClosed
+	}
+	return err
+}
+
+// runFlusher is the SyncInterval policy's timer loop.
+func (l *Log) runFlusher() {
+	defer l.flusher.Done()
+	ticker := time.NewTicker(l.opts.FsyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			if l.dirty && l.sticky == nil {
+				_ = l.flushLocked() // the error sticks; appends surface it
+			}
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package wal
+
+import "repro/internal/obs"
+
+// Process-wide WAL series on obs.Default, summed over every open Log in the
+// process (pland opens exactly one).
+var (
+	obsAppendedRecords = obs.Default.Counter("pland_wal_appended_records_total",
+		"Records appended to the WAL.")
+	obsAppendedBytes = obs.Default.Counter("pland_wal_appended_bytes_total",
+		"Framed bytes appended to the WAL.")
+	obsAppendFailures = obs.Default.Counter("pland_wal_append_failures_total",
+		"Appends refused or failed; the log is sticky-failed after the first I/O error.")
+	obsFsyncs = obs.Default.Counter("pland_wal_fsyncs_total",
+		"fsync calls issued by the WAL.")
+	obsFsyncSeconds = obs.Default.Histogram("pland_wal_fsync_seconds",
+		"Latency of one WAL fsync.", obs.LatencyBuckets)
+	obsSegments = obs.Default.Gauge("pland_wal_segments",
+		"WAL segment files currently on disk.")
+	obsSnapshots = obs.Default.Counter("pland_wal_snapshots_total",
+		"Full-state session snapshot records appended.")
+	obsCheckpoints = obs.Default.Counter("pland_wal_checkpoints_total",
+		"Completed checkpoints (Begin/End pairs).")
+	obsCompactedSegments = obs.Default.Counter("pland_wal_compacted_segments_total",
+		"Segments deleted by checkpoint compaction.")
+)

@@ -42,6 +42,7 @@ type request struct {
 	rebuildThreshold float64
 	headroom         Size
 	manualRebuild    bool
+	journal          SessionJournal
 
 	errs []error
 }

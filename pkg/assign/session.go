@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/stream"
 )
 
@@ -21,6 +22,14 @@ type (
 	SessionStats = stream.Stats
 	// SessionSnapshot is a consistent schema + ID-mapping + stats view.
 	SessionSnapshot = stream.Snapshot
+	// SessionState is the full serializable state of a session — everything
+	// delta replay depends on — with a replay-deterministic Fingerprint.
+	SessionState = stream.State
+	// SessionDeltaRecord is the journaled form of one applied delta.
+	SessionDeltaRecord = stream.DeltaRecord
+	// SessionJournal receives a session's durability stream (deltas and
+	// full-state snapshots); see stream.Journal for the calling contract.
+	SessionJournal = stream.Journal
 )
 
 var (
@@ -62,6 +71,13 @@ func Headroom(bytes Size) Option {
 // runs them on its job queue).
 func ManualRebuild() Option {
 	return func(r *request) { r.manualRebuild = true }
+}
+
+// Journal attaches a durability journal to the session: every applied delta
+// and every full-state snapshot (creation, rebuild swaps, periodic) streams
+// through it, which is what cmd/pland's WAL persistence is built on.
+func Journal(j SessionJournal) Option {
+	return func(r *request) { r.journal = j }
 }
 
 // Session is a live, continuously-maintained assignment: it owns a mapping
@@ -115,11 +131,65 @@ func (pl *Planner) NewSession(ctx context.Context, opts ...Option) (*Session, er
 		AutoRebuild:      !r.manualRebuild,
 		Initial:          initial,
 		Replan:           pl.replanFunc(r),
+		Journal:          r.journal,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Session{s: s}, nil
+}
+
+// RestoreSession rebuilds a session from a serialized state plus the deltas
+// journaled after it — the recovery half of the Journal option. The restored
+// structure is verified twice before it is returned: the replayed state must
+// fingerprint identically to what the journal recorded, and the resulting
+// schema must pass the executor auditor's static invariants (every load
+// within capacity, every required pair covered), so a corrupt or misordered
+// log surfaces as an error here instead of as a wrong answer later. Only the
+// behavioral options apply (Timeout, NoCache, ManualRebuild, Journal);
+// capacity and tuning travel inside the state itself.
+func (pl *Planner) RestoreSession(st *SessionState, deltas []SessionDeltaRecord, opts ...Option) (*Session, error) {
+	r := &request{}
+	for _, o := range opts {
+		o(r)
+	}
+	if len(r.errs) > 0 {
+		return nil, errors.Join(r.errs...)
+	}
+	if r.problemSet || len(r.sizes) > 0 || r.hasData {
+		return nil, errors.New("assign: RestoreSession takes no instance; the state carries it")
+	}
+	s, err := stream.RestoreSession(stream.Config{
+		AutoRebuild: !r.manualRebuild,
+		Replan:      pl.replanFunc(r),
+		Journal:     r.journal,
+	}, st, deltas)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{s: s}
+	if err := auditSession(sess); err != nil {
+		sess.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// auditSession statically audits a session's current schema with the
+// executor's conformance auditor.
+func auditSession(sess *Session) error {
+	snap := sess.Snapshot()
+	if len(snap.IDs) == 0 {
+		return nil // nothing to cover yet
+	}
+	aud, err := exec.NewAuditor(snap.Schema, len(snap.IDs))
+	if err != nil {
+		return fmt.Errorf("assign: auditing restored session: %w", err)
+	}
+	if err := aud.PreCheck(); err != nil {
+		return fmt.Errorf("assign: restored session failed the audit: %w", err)
+	}
+	return nil
 }
 
 // replanFunc binds the session's rebuilds to this planner's portfolio,
@@ -162,6 +232,15 @@ func (s *Session) Stats() SessionStats { return s.s.Stats() }
 // Snapshot returns the current schema (over dense IDs), the dense-to-stable
 // ID mapping, the live sizes, and the stats, all consistent with each other.
 func (s *Session) Snapshot() *SessionSnapshot { return s.s.Snapshot() }
+
+// State captures the full serializable session state; with its Fingerprint
+// it is the unit of WAL snapshot persistence.
+func (s *Session) State() *SessionState { return s.s.State() }
+
+// WriteSnapshot journals a full-state snapshot immediately; a no-op without
+// a Journal. WAL checkpoints use it to re-anchor every live session in the
+// barrier segment.
+func (s *Session) WriteSnapshot() error { return s.s.WriteSnapshot() }
 
 // NeedsRebuild reports whether drift passed the rebuild threshold; with
 // ManualRebuild it is the caller's cue to invoke Rebuild.

@@ -1,0 +1,164 @@
+#!/usr/bin/env bash
+# Boots a real pland binary with a -data-dir, churns a session and the v2 job
+# queue over HTTP, kills the process with SIGKILL (no drain, no final
+# checkpoint), boots a second process on the same data dir, and asserts the
+# durability contract: the session comes back with the same schema and stats,
+# the deleted session stays deleted, queued jobs are re-enqueued and finish,
+# finished jobs are not re-run, and the pland_recovery_* series report the
+# replay. Run from the repo root; CI runs it next to e2e-smoke.sh.
+set -euo pipefail
+
+ADDR="127.0.0.1:18081"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+LOG="$WORK/pland.log"
+BIN="$WORK/pland"
+
+cleanup() {
+  [ -n "${PLAND_PID:-}" ] && kill -9 "$PLAND_PID" 2>/dev/null || true
+  [ -n "${PLAND_PID:-}" ] && wait "$PLAND_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "e2e-crash: $*" >&2
+  echo "--- pland log ---" >&2
+  cat "$LOG" >&2 || true
+  exit 1
+}
+
+boot() {
+  # -fsync=always: every acked request is durable, so nothing a curl saw
+  # succeed may be lost to the SIGKILL. -job-workers 1 keeps the submit burst
+  # ahead of the worker so jobs are still queued when the crash lands.
+  "$BIN" -addr "$ADDR" -log-format json -data-dir "$DATA" -fsync always \
+    -job-workers 1 >>"$LOG" 2>&1 &
+  PLAND_PID=$!
+  for i in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+    [ "$i" = 50 ] && fail "pland never became healthy on $ADDR"
+    sleep 0.1
+  done
+}
+
+go build -o "$BIN" ./cmd/pland
+
+boot
+
+# A session that must survive: create, then churn it with two delta batches.
+# rebuild_threshold -1 disables background rebuilds so the session's state is
+# a pure function of the deltas and the before/after comparison is exact.
+sid=$(curl -fsS "$BASE/v2/sessions" \
+  -d '{"capacity":20,"sizes":[5,3,7],"rebuild_threshold":-1}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$sid" ] || fail "session create returned no ID"
+curl -fsS -X PATCH "$BASE/v2/sessions/$sid" \
+  -d '{"deltas":[{"op":"add","size":4},{"op":"resize","id":0,"size":9}]}' |
+  grep -q '"applied":2' || fail "first delta batch did not apply"
+curl -fsS -X PATCH "$BASE/v2/sessions/$sid" \
+  -d '{"deltas":[{"op":"remove","id":1},{"op":"add","size":6}]}' |
+  grep -q '"applied":2' || fail "second delta batch did not apply"
+
+# A session that must NOT survive: created and deleted before the crash.
+doomed=$(curl -fsS "$BASE/v2/sessions" -d '{"capacity":16,"sizes":[4,4]}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$doomed" ] || fail "doomed session create returned no ID"
+curl -fsS -X DELETE "$BASE/v2/sessions/$doomed" >/dev/null ||
+  fail "doomed session delete failed"
+
+# A job that finishes before the crash must not be re-run after it.
+finished=$(curl -fsS "$BASE/v2/jobs" \
+  -d '{"type":"plan","plan":{"problem":"A2A","capacity":10,"sizes":[4,4,2]}}' |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$finished" ] || fail "job submit returned no ID"
+state=""
+for i in $(seq 1 100); do
+  state=$(curl -fsS "$BASE/v2/jobs/$finished" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  [ "$state" = succeeded ] && break
+  sleep 0.1
+done
+[ "$state" = succeeded ] || fail "pre-crash job never finished (state=$state)"
+
+# Snapshot what the survivor must look like after the crash. The GET body is
+# a pure function of the replayed state (schema, IDs, sizes, stats), so byte
+# equality is the shell-level fingerprint check.
+curl -fsS "$BASE/v2/sessions/$sid" >"$WORK/before.json" || fail "pre-crash GET failed"
+
+# Burst-submit jobs against the single worker, then SIGKILL mid-queue: the
+# tail of the burst is journaled (202 implies fsynced) but unfinished, which
+# is exactly the state recovery must re-enqueue.
+queued=()
+for i in $(seq 1 12); do
+  id=$(curl -fsS "$BASE/v2/jobs" \
+    -d '{"type":"execute","execute":{"problem":"A2A","capacity":12,"inputs":["aaaa","bbb","cc","ddddd","ee","f"]}}' |
+    sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  [ -n "$id" ] || fail "burst submit $i returned no ID"
+  queued+=("$id")
+done
+
+kill -9 "$PLAND_PID"
+wait "$PLAND_PID" 2>/dev/null || true
+PLAND_PID=""
+
+boot
+
+# The survivor session must be byte-identical to its pre-crash view.
+curl -fsS "$BASE/v2/sessions/$sid" >"$WORK/after.json" ||
+  fail "recovered session $sid is gone"
+cmp -s "$WORK/before.json" "$WORK/after.json" || {
+  echo "--- before ---" >&2; cat "$WORK/before.json" >&2
+  echo "--- after ----" >&2; cat "$WORK/after.json" >&2
+  fail "recovered session diverges from its pre-crash state"
+}
+
+# ...and must keep serving deltas.
+curl -fsS -X PATCH "$BASE/v2/sessions/$sid" \
+  -d '{"deltas":[{"op":"add","size":2}]}' |
+  grep -q '"applied":1' || fail "recovered session refused a delta"
+
+# The deleted session must stay deleted.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v2/sessions/$doomed")
+[ "$code" = 404 ] || fail "deleted session $doomed came back (status $code)"
+
+# The finished job must not be re-run: its result was retained in memory
+# only, so after the crash it is simply gone.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v2/jobs/$finished")
+[ "$code" = 404 ] || fail "finished job $finished re-appeared (status $code)"
+
+# Every burst job must either have finished before the kill (gone now) or
+# have been re-enqueued by recovery and run to success. None may be lost in
+# a failed/canceled state.
+for id in "${queued[@]}"; do
+  state=""
+  for i in $(seq 1 100); do
+    code=$(curl -s -o "$WORK/job.json" -w '%{http_code}' "$BASE/v2/jobs/$id")
+    if [ "$code" = 404 ]; then state=finished-pre-crash; break; fi
+    [ "$code" = 200 ] || fail "job $id poll returned status $code"
+    state=$(sed -n 's/.*"state":"\([^"]*\)".*/\1/p' "$WORK/job.json")
+    [ "$state" = succeeded ] && break
+    { [ "$state" = failed ] || [ "$state" = canceled ]; } &&
+      fail "re-enqueued job $id ended $state"
+    sleep 0.1
+  done
+  { [ "$state" = succeeded ] || [ "$state" = finished-pre-crash ]; } ||
+    fail "job $id never resolved after recovery (state=$state)"
+done
+
+# The recovery and WAL series must have moved on the second boot.
+curl -fsS -o "$WORK/metrics.txt" "$BASE/metrics" || fail "metrics scrape failed"
+assert_nonzero() {
+  awk -v p="$1" 'index($0, p) == 1 && $NF + 0 > 0 { found = 1 } END { exit found ? 0 : 1 }' \
+    "$WORK/metrics.txt" || fail "series $1 is missing or zero"
+}
+assert_nonzero 'pland_recovery_sessions_total'
+assert_nonzero 'pland_recovery_deltas_total'
+assert_nonzero 'pland_wal_appended_records_total'
+assert_nonzero 'pland_wal_fsyncs_total'
+
+# A clean shutdown of the recovered process must drain without error.
+kill -TERM "$PLAND_PID"
+wait "$PLAND_PID" || fail "recovered pland did not exit cleanly"
+PLAND_PID=""
+echo "e2e crash recovery OK"
