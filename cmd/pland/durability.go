@@ -73,6 +73,13 @@ type walJob struct {
 // the checkpoint loop. With an empty DataDir it is exactly newServer.
 func newDurableServer(pl *assign.Planner, cfg serverConfig) (*server, error) {
 	s := newServer(pl, cfg)
+	if len(s.cfg.Peers) > 0 {
+		cl, err := newCluster(s.cfg, s.log)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	}
 	if cfg.DataDir == "" {
 		return s, nil
 	}
@@ -93,6 +100,9 @@ func newDurableServer(pl *assign.Planner, cfg serverConfig) (*server, error) {
 	s.checkpointStop = make(chan struct{})
 	s.checkpointWG.Add(1)
 	go s.runCheckpointer()
+	// Recovery is done and re-anchored: from here /readyz says so and peers
+	// may route to this node.
+	s.ready.Store(true)
 	return s, nil
 }
 
@@ -119,33 +129,16 @@ func (s *server) recoverWAL() error {
 				"session", rs.SID, "want", rs.FP, "got", got)
 			continue
 		}
-		var meta sessionMeta
-		if len(rs.Meta) > 0 {
-			if err := json.Unmarshal(rs.Meta, &meta); err != nil {
-				s.log.Warn("session meta unreadable; using defaults", "session", rs.SID, "error", err)
-			}
-		}
-		opts := []assign.Option{
-			assign.ManualRebuild(), // rebuilds run on the shared job queue
-			assign.Timeout(requestBudget(meta.TimeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxJobTimeout)),
-			assign.Journal(&sessionJournal{sid: rs.SID, meta: rs.Meta, log: s.wal}),
-		}
-		if meta.NoCache {
-			opts = append(opts, assign.NoCache())
-		}
-		sess, err := s.planner.RestoreSession(rs.State, rs.Deltas, opts...)
+		entry, err := s.installSession(rs.SID, rs.State, rs.Deltas, rs.Meta)
 		if err != nil {
 			obsRecoverySessionFailures.Inc()
 			s.log.Warn("dropping session: restore failed", "session", rs.SID, "error", err)
 			continue
 		}
-		s.sessMu.Lock()
-		s.sessions[rs.SID] = &sessionEntry{id: rs.SID, sess: sess}
-		s.sessMu.Unlock()
 		obsRecoverySessions.Inc()
 		obsRecoveryDeltas.Add(uint64(len(rs.Deltas)))
 		s.log.Info("session recovered", "session", rs.SID,
-			"inputs", sess.Len(), "deltas_replayed", len(rs.Deltas))
+			"inputs", entry.sess.Len(), "deltas_replayed", len(rs.Deltas))
 	}
 
 	for _, rj := range rec.Jobs {
@@ -175,6 +168,40 @@ func (s *server) recoverWAL() error {
 
 	obsRecoveryDurationMS.Set(time.Since(start).Milliseconds())
 	return nil
+}
+
+// installSession restores a serialized session under its existing ID and
+// registers it for serving. Boot recovery and the cluster handoff receiver
+// share it, so a session re-materializes with identical semantics whether it
+// came out of this node's WAL or off the wire from a draining peer. The
+// caller has already verified the state's fingerprint.
+func (s *server) installSession(sid string, st *assign.SessionState, deltas []assign.SessionDeltaRecord, metaRaw json.RawMessage) (*sessionEntry, error) {
+	var meta sessionMeta
+	if len(metaRaw) > 0 {
+		if err := json.Unmarshal(metaRaw, &meta); err != nil {
+			s.log.Warn("session meta unreadable; using defaults", "session", sid, "error", err)
+			metaRaw = nil
+		}
+	}
+	opts := []assign.Option{
+		assign.ManualRebuild(), // rebuilds run on the shared job queue
+		assign.Timeout(requestBudget(meta.TimeoutMS, s.cfg.DefaultTimeout, s.cfg.MaxJobTimeout)),
+	}
+	if s.wal != nil {
+		opts = append(opts, assign.Journal(&sessionJournal{sid: sid, meta: metaRaw, log: s.wal}))
+	}
+	if meta.NoCache {
+		opts = append(opts, assign.NoCache())
+	}
+	sess, err := s.planner.RestoreSession(st, deltas, opts...)
+	if err != nil {
+		return nil, err
+	}
+	entry := &sessionEntry{id: sid, sess: sess, meta: metaRaw}
+	s.sessMu.Lock()
+	s.sessions[sid] = entry
+	s.sessMu.Unlock()
+	return entry, nil
 }
 
 // checkpoint re-journals the complete live state into a fresh barrier segment

@@ -32,7 +32,10 @@
 //	GET    /v2/sessions/{id} current schema, stable input IDs, drift stats
 //	DELETE /v2/sessions/{id} close the session
 //	GET    /v1/stats         cache, solver-win, job-queue, and session counters
-//	GET    /healthz          liveness probe
+//	GET    /healthz          liveness probe (200 even while draining)
+//	GET    /readyz           readiness probe: 503 before boot recovery
+//	                         finished and from the moment a drain starts;
+//	                         fleet peers probe it to route around this node
 //	GET    /metrics          Prometheus text exposition of every pland series
 //	GET    /debug/pprof/     runtime profiles; both move to the separate
 //	                         -debug-addr listener when one is given
@@ -59,6 +62,14 @@
 // log under the directory (-fsync picks the durability/latency trade-off),
 // periodic checkpoints keep the log compact, and the next boot replays the
 // log — fingerprint-verified and audited — before the listener opens.
+//
+// With -peers (and -self), the node joins a static fleet: session and job
+// keys place onto nodes by consistent hashing, every node serves its own
+// keys and transparently proxies the rest to their owner (routing around
+// peers whose /readyz stops answering), plan results are cached fleet-wide
+// at each canonical key's owner, and a graceful drain hands live sessions to
+// their ring successors — fingerprint-verified on arrival — before the
+// process exits. See cluster.go and internal/shard.
 package main
 
 import (
@@ -70,12 +81,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/wal"
 	"repro/pkg/assign"
 )
+
+// splitPeers parses the -peers list: comma-separated base URLs, whitespace
+// tolerated, trailing slashes normalized away so ring membership and -self
+// compare exactly.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	fs := flag.NewFlagSet("pland", flag.ContinueOnError)
@@ -100,6 +126,12 @@ func main() {
 		fsyncMode  = fs.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "never"`)
 		fsyncEvery = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync=interval")
 		ckptEvery  = fs.Duration("checkpoint-interval", time.Minute, "WAL snapshot-checkpoint and compaction cadence")
+		self       = fs.String("self", "", "this node's advertised base URL in a -peers fleet (e.g. http://10.0.0.1:8080)")
+		peers      = fs.String("peers", "", "comma-separated base URLs of every fleet node including this one; empty runs single-node")
+		healthInt  = fs.Duration("health-interval", 500*time.Millisecond, "peer readiness probe cadence")
+		healthFail = fs.Int("health-fail", 2, "consecutive failed probes before a peer is routed around")
+		drainGrace = fs.Duration("drain-grace", time.Second, "pause after /readyz flips to 503 before the listener closes, so peers stop forwarding here (clustered only)")
+		fleetCache = fs.Int("fleet-cache", 0, "fleet plan-cache shard capacity in entries (0 = default)")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -146,10 +178,20 @@ func main() {
 		Fsync:              fsyncPolicy,
 		FsyncInterval:      *fsyncEvery,
 		CheckpointInterval: *ckptEvery,
+		Self:               *self,
+		Peers:              splitPeers(*peers),
+		HealthInterval:     *healthInt,
+		HealthFailAfter:    *healthFail,
+		FleetCacheEntries:  *fleetCache,
 	})
 	if err != nil {
-		logger.Error("opening data dir", "dir", *dataDir, "error", err)
+		logger.Error("starting server", "dir", *dataDir, "error", err)
 		os.Exit(1)
+	}
+	if srv.cluster != nil {
+		srv.cluster.health.Start()
+		logger.Info("cluster member", "self", *self, "peers", *peers,
+			"health_interval", *healthInt, "health_fail", *healthFail)
 	}
 	logger.Info("listening", "addr", *addr, "cache_entries", *cacheSize,
 		"default_budget", *timeout, "queue_depth", *queueDepth,
@@ -196,10 +238,22 @@ func main() {
 	}
 	stop() // a second signal kills immediately instead of waiting for drain
 	logger.Info("shutdown signal received", "drain", *drain)
+	// Drain sequence: flip /readyz to 503 first so peer probes (and load
+	// balancers) steer traffic away, give them -drain-grace to notice while
+	// the listener still serves, then stop accepting, hand every live session
+	// to its ring successor, and only then tear the rest down.
+	srv.startDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if srv.cluster != nil {
+		time.Sleep(*drainGrace)
+	}
 	if err := hs.Shutdown(dctx); err != nil {
 		logger.Warn("http drain", "error", err)
+	}
+	if srv.cluster != nil {
+		srv.handoffSessions(dctx)
+		srv.cluster.health.Stop()
 	}
 	if err := srv.Close(dctx); err != nil {
 		logger.Warn("job drain; unfinished jobs marked failed", "error", err)

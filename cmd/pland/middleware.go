@@ -32,7 +32,8 @@ const requestIDHeader = "X-Request-ID"
 func routeLabel(path string) string {
 	switch path {
 	case "/v1/plan", "/v1/execute", "/v1/stats",
-		"/v2/jobs", "/v2/sessions", "/healthz", "/metrics":
+		"/v2/jobs", "/v2/sessions", "/healthz", "/readyz",
+		"/internal/handoff", "/metrics":
 		return path
 	}
 	switch {
@@ -40,6 +41,8 @@ func routeLabel(path string) string {
 		return "/v2/jobs/{id}"
 	case strings.HasPrefix(path, "/v2/sessions/"):
 		return "/v2/sessions/{id}"
+	case strings.HasPrefix(path, "/internal/cache/"):
+		return "/internal/cache/{key}"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
 	}

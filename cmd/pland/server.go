@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
@@ -48,6 +49,16 @@ type serverConfig struct {
 	Fsync              wal.Policy
 	FsyncInterval      time.Duration
 	CheckpointInterval time.Duration
+	// Self and Peers wire the node into a static fleet (see cluster.go):
+	// Peers is every node's advertised base URL including this one, Self is
+	// this node's own entry. Empty Peers runs single-node with no cluster
+	// layer at all. HealthInterval/HealthFailAfter shape peer readiness
+	// probing; FleetCacheEntries sizes this node's fleet plan-cache shard.
+	Self              string
+	Peers             []string
+	HealthInterval    time.Duration
+	HealthFailAfter   int
+	FleetCacheEntries int
 }
 
 // server is the HTTP front end over the assign SDK. It is a plain
@@ -63,6 +74,13 @@ type server struct {
 
 	sessMu   sync.Mutex
 	sessions map[string]*sessionEntry
+
+	// Cluster layer (nil single-node; see cluster.go). ready flips once boot
+	// recovery finished; draining flips when shutdown starts — /readyz is the
+	// AND of the two, and peers probe it.
+	cluster  *cluster
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	// Durability (nil/zero without -data-dir; see durability.go).
 	wal            *wal.Log
@@ -130,6 +148,9 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 	s.mux.HandleFunc("/v2/sessions", s.handleSessions)
 	s.mux.HandleFunc("/v2/sessions/", s.handleSession)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/internal/handoff", s.handleHandoff)
+	s.mux.HandleFunc("/internal/cache/", s.handleFleetCache)
 	if cfg.DebugAddr == "" {
 		registerDebug(s.mux)
 	}
@@ -137,6 +158,11 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 		writeAPIError(w, notFound("no such endpoint"))
 	})
 	s.handler = withObs(s.log, s.mux)
+	// Without a WAL there is no boot recovery to wait for; newDurableServer
+	// flips readiness itself once recovery and the re-anchor checkpoint ran.
+	if cfg.DataDir == "" {
+		s.ready.Store(true)
+	}
 	return s
 }
 
@@ -178,6 +204,7 @@ const (
 	codePlanTimeout      = "plan_timeout"
 	codeCanceled         = "canceled"
 	codeShuttingDown     = "shutting_down"
+	codePeerUnreachable  = "peer_unreachable"
 	codeInternal         = "internal"
 )
 
@@ -260,7 +287,10 @@ type planResponse struct {
 	Candidates         int                   `json:"candidates"`
 	CacheHit           bool                  `json:"cache_hit"`
 	SharedFlight       bool                  `json:"shared_flight"`
-	ElapsedMicros      int64                 `json:"elapsed_us"`
+	// FleetCacheHit marks a result served from the fleet-wide cluster cache
+	// rather than a local solve (see planFleet in cluster.go).
+	FleetCacheHit bool  `json:"fleet_cache_hit,omitempty"`
+	ElapsedMicros int64 `json:"elapsed_us"`
 }
 
 // decodeBody decodes a JSON body under the server's size cap.
@@ -285,7 +315,9 @@ func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.MaxTimeout)
 	defer cancel()
-	resp, aerr := s.runPlan(ctx, body, s.cfg.MaxTimeout)
+	// planFleet consults the fleet-wide cluster cache around the solve; it is
+	// exactly runPlan when unclustered or when the client opted out of caching.
+	resp, aerr := s.planFleet(ctx, body)
 	if aerr != nil {
 		writeAPIError(w, aerr)
 		return
@@ -593,6 +625,7 @@ type statsResponse struct {
 	Jobs          jobs.Stats    `json:"jobs"`
 	Sessions      sessionsStats `json:"sessions"`
 	HTTP          httpStats     `json:"http"`
+	Cluster       *clusterStats `json:"cluster,omitempty"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
 }
 
@@ -604,13 +637,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.sessMu.Lock()
 	live := len(s.sessions)
 	s.sessMu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Stats:         s.planner.Stats(),
 		Jobs:          s.jobs.Stats(),
 		Sessions:      sessionsStats{Live: live, Limit: s.cfg.MaxSessions},
 		HTTP:          httpStats{InFlight: obsHTTPInFlight.Value()},
 		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
+	}
+	if s.cluster != nil {
+		resp.Cluster = s.cluster.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

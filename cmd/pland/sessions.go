@@ -21,6 +21,10 @@ import (
 type sessionEntry struct {
 	id   string
 	sess *assign.Session
+	// meta is the marshaled sessionMeta this session was created (or
+	// restored) with; drain handoff ships it alongside the state so the
+	// receiver rebuilds the session with the same replan shaping.
+	meta json.RawMessage
 
 	mu         sync.Mutex
 	rebuildJob string // last submitted rebuild job ID, "" when none
@@ -88,6 +92,13 @@ type sessionResponse struct {
 	// RebuildJobID is the in-flight or last-submitted rebuild job; poll it
 	// via GET /v2/jobs/{id}.
 	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+	// Node is the cluster node serving this session (clustered servers only).
+	// Fingerprint is the hex state fingerprint of the snapshot this view came
+	// from (schema views only): equal fingerprints mean replay-identical
+	// sessions, which is how the cluster e2e asserts a handed-off session
+	// survived a node's death intact.
+	Node        string `json:"node,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // sessionListResponse is the answer of GET /v2/sessions.
@@ -119,6 +130,21 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	// The ID is drawn before anything else: under clustering it decides the
+	// owning node (the create is forwarded there with the ID pinned), and the
+	// journal needs it to stamp the very first snapshot (NewSession journals
+	// one as the session goes live).
+	id := pinnedID(r)
+	if id == "" {
+		id = newSessionID()
+		if c := s.cluster; c != nil && r.Header.Get(headerForwarded) == "" {
+			if owner, ok := c.ring.Owner(id, c.health.Alive); ok && owner != c.self {
+				if c.forward(w, r, id, owner, id) {
+					return
+				}
+			}
+		}
+	}
 	var body sessionCreateRequest
 	if aerr := s.decodeBody(w, r, &body); aerr != nil {
 		writeAPIError(w, aerr)
@@ -148,9 +174,6 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessMu.Unlock()
 
-	// The ID is drawn before NewSession so the journal can stamp the very
-	// first snapshot (NewSession journals one as the session goes live).
-	id := newSessionID()
 	opts := []assign.Option{
 		assign.Capacity(body.Capacity),
 		assign.ManualRebuild(), // rebuilds run on the shared job queue
@@ -165,12 +188,15 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	if body.NoCache {
 		opts = append(opts, assign.NoCache())
 	}
+	// The meta blob rides with every journaled snapshot and with a drain
+	// handoff; it is computed even without a WAL so a clustered in-memory
+	// node hands sessions off with their replan shaping intact.
+	meta, err := json.Marshal(sessionMeta{TimeoutMS: body.TimeoutMS, NoCache: body.NoCache})
+	if err != nil {
+		writeAPIError(w, badRequestf("encoding session meta: %v", err))
+		return
+	}
 	if s.wal != nil {
-		meta, err := json.Marshal(sessionMeta{TimeoutMS: body.TimeoutMS, NoCache: body.NoCache})
-		if err != nil {
-			writeAPIError(w, badRequestf("encoding session meta: %v", err))
-			return
-		}
 		opts = append(opts, assign.Journal(&sessionJournal{sid: id, meta: meta, log: s.wal}))
 	}
 	// The initial plan runs synchronously under the request budget.
@@ -182,7 +208,7 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	entry := &sessionEntry{id: id, sess: sess}
+	entry := &sessionEntry{id: id, sess: sess, meta: meta}
 	s.sessMu.Lock()
 	if len(s.sessions) >= s.cfg.MaxSessions { // re-check: creations may race
 		s.sessMu.Unlock()
@@ -208,9 +234,13 @@ func (s *server) listSessions(w http.ResponseWriter) {
 	limit := s.cfg.MaxSessions
 	s.sessMu.Unlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	node := ""
+	if s.cluster != nil {
+		node = s.cluster.self
+	}
 	resp := sessionListResponse{Sessions: make([]sessionResponse, 0, len(entries)), Count: len(entries), Limit: limit}
 	for _, e := range entries {
-		resp.Sessions = append(resp.Sessions, sessionResponse{ID: e.id, Stats: e.sess.Stats(), RebuildJobID: s.activeRebuild(e)})
+		resp.Sessions = append(resp.Sessions, sessionResponse{ID: e.id, Stats: e.sess.Stats(), RebuildJobID: s.activeRebuild(e), Node: node})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -226,6 +256,12 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 	entry := s.sessions[id]
 	s.sessMu.Unlock()
 	if entry == nil {
+		// Not here: under clustering the ring says who serves it (a session
+		// present locally — pinned here or handed off here — always serves
+		// locally, so routing never bounces a live session away).
+		if s.routeKeyed(w, r, id) {
+			return
+		}
 		writeAPIError(w, notFound("no such session"))
 		return
 	}
@@ -371,12 +407,18 @@ func (s *server) maybeScheduleRebuild(entry *sessionEntry) string {
 // sessionView renders a session, optionally with its schema snapshot.
 func (s *server) sessionView(entry *sessionEntry, withSchema bool) sessionResponse {
 	resp := sessionResponse{ID: entry.id, RebuildJobID: s.activeRebuild(entry)}
+	if s.cluster != nil {
+		resp.Node = s.cluster.self
+	}
 	if withSchema {
 		snap := entry.sess.Snapshot()
 		resp.Stats = snap.Stats
 		resp.Schema = snap.Schema
 		resp.IDs = snap.IDs
 		resp.Sizes = snap.Sizes
+		if st := entry.sess.State(); st != nil {
+			resp.Fingerprint = fmt.Sprintf("%016x", st.Fingerprint())
+		}
 	} else {
 		resp.Stats = entry.sess.Stats()
 	}

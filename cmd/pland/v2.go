@@ -100,6 +100,23 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, methodNotAllowed("POST"))
 		return
 	}
+	// Under clustering the job ID is drawn up front so placement can route
+	// the create to the ID's ring owner, exactly like session creation; the
+	// owner enqueues it under the pinned ID so polls route the same way.
+	var pinned string
+	if s.cluster != nil {
+		pinned = pinnedID(r)
+		if pinned == "" {
+			pinned = newJobID()
+			if c := s.cluster; r.Header.Get(headerForwarded) == "" {
+				if owner, ok := c.ring.Owner(pinned, c.health.Alive); ok && owner != c.self {
+					if c.forward(w, r, pinned, owner, pinned) {
+						return
+					}
+				}
+			}
+		}
+	}
 	var body jobSubmitRequest
 	if aerr := s.decodeBody(w, r, &body); aerr != nil {
 		writeAPIError(w, aerr)
@@ -110,7 +127,15 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, aerr)
 		return
 	}
-	snap, err := s.jobs.Submit(body.Type, run)
+	var (
+		snap jobs.Snapshot
+		err  error
+	)
+	if pinned != "" {
+		snap, err = s.jobs.Restore(pinned, body.Type, run)
+	} else {
+		snap, err = s.jobs.Submit(body.Type, run)
+	}
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeAPIError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeQueueFull,
@@ -178,6 +203,14 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if id == "" || strings.Contains(id, "/") {
 		writeAPIError(w, notFound("no such job"))
 		return
+	}
+	// A job present locally always serves locally — rebuild jobs enqueue on
+	// their session's node under manager-drawn IDs, so ring position must not
+	// bounce their polls away. Only a local miss consults the ring.
+	if _, err := s.jobs.Get(id); err != nil {
+		if s.routeKeyed(w, r, id) {
+			return
+		}
 	}
 	switch r.Method {
 	case http.MethodGet:

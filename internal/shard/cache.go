@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ResultCache is the node-local shard of the fleet-wide plan cache: a bounded
+// LRU of serialized plan responses keyed by canonical instance key. Each key
+// has exactly one owning node on the ring; peers probe the owner before
+// solving and publish their cold solves back to it, so the fleet pays one
+// solve per canonical instance no matter which node the requests hit. Values
+// are opaque bytes — the cache never decodes what it stores.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	key   string
+	value []byte
+}
+
+// DefaultCacheEntries bounds the fleet cache when no capacity is given.
+const DefaultCacheEntries = 4096
+
+// NewResultCache builds a cache holding up to capacity entries (0 means
+// DefaultCacheEntries).
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &ResultCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached bytes for key, if present, and marks the entry
+// recently used. The returned slice is shared — callers must not mutate it.
+func (c *ResultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		obsFleetCacheMisses.Inc()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	obsFleetCacheHits.Inc()
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores value under key, evicting the least-recently-used entry when
+// the cache is full. An existing key is overwritten and refreshed.
+func (c *ResultCache) Put(key string, value []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, value: value})
+	obsFleetCacheEntries.Inc()
+	if c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		obsFleetCacheEntries.Dec()
+		obsFleetCacheEvictions.Inc()
+	}
+}
+
+// Len returns the live entry count.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

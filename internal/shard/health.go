@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ProbeFunc checks one peer; nil error means the peer is serving. The cluster
+// layer wires a plandclient /readyz round trip here, so a peer that is up but
+// draining counts as down and stops receiving forwarded traffic before its
+// listener closes.
+type ProbeFunc func(ctx context.Context, peer string) error
+
+// HealthConfig shapes a Health tracker.
+type HealthConfig struct {
+	// Self is this node's own name; it is always reported alive and never
+	// probed.
+	Self string
+	// Peers are the other fleet members to probe.
+	Peers []string
+	// Probe performs one check. Required when Peers is non-empty.
+	Probe ProbeFunc
+	// Interval is the probe cadence (default 500ms); ProbeTimeout bounds one
+	// probe (default Interval).
+	Interval     time.Duration
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive probe failures mark a peer down
+	// (default 2). Recovery is immediate: one success marks it up again.
+	FailAfter int
+}
+
+// peerState is one peer's view: up/down plus the consecutive-failure count.
+type peerState struct {
+	up    bool
+	fails int
+}
+
+// Health tracks fleet liveness: a background prober per configured peer plus
+// a MarkDown fast path for the forwarding layer, which learns about a dead
+// peer from a refused connection long before the next probe tick. Peers
+// start alive so a booting fleet does not route around nodes it has not
+// probed yet.
+type Health struct {
+	cfg  HealthConfig
+	mu   sync.Mutex
+	peer map[string]*peerState
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// NewHealth builds a tracker; call Start to begin probing.
+func NewHealth(cfg HealthConfig) *Health {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.Interval
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 2
+	}
+	h := &Health{
+		cfg:  cfg,
+		peer: make(map[string]*peerState, len(cfg.Peers)),
+		stop: make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		h.peer[p] = &peerState{up: true}
+		obsPeerUp.With(p).Set(1)
+	}
+	return h
+}
+
+// Start launches one probe loop per peer. Loops are per-peer so one slow or
+// black-holing peer cannot delay the probes of the others.
+func (h *Health) Start() {
+	for p := range h.peer {
+		h.wg.Add(1)
+		go h.probeLoop(p)
+	}
+}
+
+// Stop ends the probe loops; safe to call more than once.
+func (h *Health) Stop() {
+	h.once.Do(func() { close(h.stop) })
+	h.wg.Wait()
+}
+
+func (h *Health) probeLoop(peer string) {
+	defer h.wg.Done()
+	t := time.NewTicker(h.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ProbeTimeout)
+			err := h.cfg.Probe(ctx, peer)
+			cancel()
+			h.observe(peer, err == nil)
+		}
+	}
+}
+
+// observe folds one probe outcome into the peer's state.
+func (h *Health) observe(peer string, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.peer[peer]
+	if st == nil {
+		return
+	}
+	if ok {
+		if !st.up {
+			obsPeerRecoveries.With(peer).Inc()
+		}
+		st.up = true
+		st.fails = 0
+		obsPeerUp.With(peer).Set(1)
+		return
+	}
+	st.fails++
+	obsPeerProbeFailures.With(peer).Inc()
+	if st.fails >= h.cfg.FailAfter && st.up {
+		st.up = false
+		obsPeerUp.With(peer).Set(0)
+	}
+}
+
+// MarkDown marks a peer dead immediately. The forwarding layer calls it when
+// a proxied request fails at the transport, so rerouting does not wait for
+// FailAfter probe ticks; the probe loop marks the peer up again when it
+// answers.
+func (h *Health) MarkDown(peer string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.peer[peer]
+	if st == nil || !st.up {
+		return
+	}
+	st.up = false
+	st.fails = h.cfg.FailAfter
+	obsPeerUp.With(peer).Set(0)
+}
+
+// Alive reports liveness; self (and unknown nodes) count as alive so a
+// single-node ring and the self-ownership fast path never consult probes.
+func (h *Health) Alive(node string) bool {
+	if node == h.cfg.Self {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.peer[node]
+	if st == nil {
+		return true
+	}
+	return st.up
+}
+
+// Snapshot returns each probed peer's liveness.
+func (h *Health) Snapshot() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]bool, len(h.peer))
+	for p, st := range h.peer {
+		out[p] = st.up
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/pkg/assign"
@@ -78,6 +79,11 @@ type APIError struct {
 	// error arrived as an HTTP response. Quote it when reporting a failure:
 	// the server's request log carries the same ID.
 	RequestID string
+	// Attempts is how many round trips the client made before this error
+	// surfaced: 1 for a plain failure, more when the retry layer (idempotent
+	// GETs on transport errors, refused connections on any method) burned
+	// through its budget first.
+	Attempts int
 }
 
 func (e *APIError) Error() string {
@@ -86,6 +92,9 @@ func (e *APIError) Error() string {
 		msg = fmt.Sprintf("pland: %s (%s)", e.Message, e.Code)
 	} else {
 		msg = fmt.Sprintf("pland: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+	}
+	if e.Attempts > 1 {
+		msg += fmt.Sprintf(" [after %d attempts]", e.Attempts)
 	}
 	if e.RequestID != "" {
 		msg += " [request " + e.RequestID + "]"
@@ -105,7 +114,14 @@ const (
 	CodePlanTimeout      = "plan_timeout"
 	CodeCanceled         = "canceled"
 	CodeShuttingDown     = "shutting_down"
+	CodeNotOwner         = "not_owner"
+	CodePeerUnreachable  = "peer_unreachable"
 	CodeInternal         = "internal"
+
+	// CodeTransport is client-side: the request never produced an HTTP
+	// response (refused connection, reset, DNS failure) even after the retry
+	// layer's budget. APIError.StatusCode is 0 for it.
+	CodeTransport = "transport"
 )
 
 // PlanRequest is the body of POST /v1/plan and of "plan" jobs.
@@ -138,7 +154,11 @@ type PlanResult struct {
 	Candidates         int                   `json:"candidates"`
 	CacheHit           bool                  `json:"cache_hit"`
 	SharedFlight       bool                  `json:"shared_flight"`
-	ElapsedMicros      int64                 `json:"elapsed_us"`
+	// FleetCacheHit marks a result served from the fleet-wide cluster cache:
+	// another node solved this canonical instance and the key's ring owner
+	// served it from its shard.
+	FleetCacheHit bool  `json:"fleet_cache_hit,omitempty"`
+	ElapsedMicros int64 `json:"elapsed_us"`
 	// RequestID is the server's X-Request-ID for the call that produced this
 	// result; it matches the server's request log line.
 	RequestID string `json:"-"`
@@ -328,21 +348,49 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
 	return &out, nil
 }
 
+// backoff is the delay schedule WaitJob polling and the transport-retry
+// layer share: delays start at base (at least 1ms), double per step, carry
+// ±25% jitter to decorrelate concurrent clients, and cap at max.
+type backoff struct {
+	cur, max time.Duration
+}
+
+func newBackoff(base, max time.Duration) *backoff {
+	if base < time.Millisecond {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{cur: base, max: max}
+}
+
+// next returns this step's jittered delay and advances the schedule.
+func (b *backoff) next() time.Duration {
+	d := b.cur + time.Duration(rand.Int64N(int64(b.cur)/2+1)) - b.cur/4
+	if d > b.max {
+		d = b.max
+	}
+	if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	return d
+}
+
 // WaitJob polls GET /v2/jobs/{id} until the job reaches a terminal state or
 // ctx ends, backing off exponentially: the first retry comes after roughly
 // poll/16 (at least 1ms), each later one doubles, and the delay is capped
 // at poll (default 100ms) — so short jobs resolve in a few milliseconds
-// while long solves cost one request per poll interval, not sixteen. A
-// ±25% jitter decorrelates concurrent waiters. The terminal job is
-// returned as-is; inspect State and Err.
+// while long solves cost one request per poll interval, not sixteen. The
+// terminal job is returned as-is; inspect State and Err.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*Job, error) {
 	if poll <= 0 {
 		poll = 100 * time.Millisecond
 	}
-	delay := poll / 16
-	if delay < time.Millisecond {
-		delay = time.Millisecond
-	}
+	bo := newBackoff(poll/16, poll)
 	for {
 		job, err := c.GetJob(ctx, id)
 		if err != nil {
@@ -351,18 +399,8 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*J
 		if job.Terminal() {
 			return job, nil
 		}
-		d := delay + time.Duration(rand.Int64N(int64(delay)/2+1)) - delay/4
-		if d > poll {
-			d = poll
-		}
-		if err := c.sleep(ctx, d); err != nil {
+		if err := c.sleep(ctx, bo.next()); err != nil {
 			return job, err
-		}
-		if delay < poll {
-			delay *= 2
-			if delay > poll {
-				delay = poll
-			}
 		}
 	}
 }
@@ -434,6 +472,12 @@ type Session struct {
 	// RebuildJobID, when set, is a rebuild running on the v2 job queue;
 	// poll it with GetJob/WaitJob.
 	RebuildJobID string `json:"rebuild_job_id,omitempty"`
+	// Node is the cluster node serving this session (clustered servers only);
+	// Fingerprint is the hex state fingerprint of the snapshot this view came
+	// from — equal fingerprints mean replay-identical sessions, which is how
+	// the cluster e2e asserts a handed-off session survived intact.
+	Node        string `json:"node,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// RequestID is the server's X-Request-ID of the call this view came from.
 	RequestID string `json:"-"`
 }
@@ -560,17 +604,79 @@ func (c *Client) DeleteSession(ctx context.Context, id string) (*Session, error)
 	return &out, nil
 }
 
-// do performs one round trip: JSON request body (when non-nil), JSON
-// response into out on 2xx, and the server's error envelope as *APIError
-// otherwise. The first return is the response's X-Request-ID header.
+// Transport-retry budget: how many round trips one call may cost, and the
+// backoff window between them (same doubling-with-jitter schedule WaitJob
+// uses). Only requests the server never answered are retried — an HTTP
+// response, whatever its status, is the server's verdict and is returned.
+const (
+	retryAttempts = 4
+	retryBase     = 25 * time.Millisecond
+	retryCap      = 250 * time.Millisecond
+)
+
+// transportError marks a round trip that produced no HTTP response.
+type transportError struct {
+	method, path string
+	err          error
+}
+
+func (e *transportError) Error() string { return fmt.Sprintf("%s %s: %v", e.method, e.path, e.err) }
+func (e *transportError) Unwrap() error { return e.err }
+
+// retryableTransport reports whether a transport failure may be retried:
+// idempotent GETs always (re-reading is free), every other method only when
+// the connection was refused outright — the server never saw the request, so
+// replaying it cannot double-apply anything. A failure mid-exchange on a
+// non-idempotent method is surfaced instead.
+func retryableTransport(method string, err error) bool {
+	return method == http.MethodGet || errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// do performs a round trip: JSON request body (when non-nil), JSON response
+// into out on 2xx (out may be nil to discard), and the server's error
+// envelope as *APIError otherwise. Transport failures are retried per
+// retryableTransport with capped exponential backoff and jitter; the attempt
+// count rides on the returned *APIError. The first return is the response's
+// X-Request-ID header.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) (string, error) {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		var err error
+		buf, err = json.Marshal(body)
 		if err != nil {
 			return "", fmt.Errorf("plandclient: encoding request: %w", err)
 		}
-		rd = bytes.NewReader(buf)
+	}
+	bo := newBackoff(retryBase, retryCap)
+	for attempt := 1; ; attempt++ {
+		rid, err := c.doOnce(ctx, method, path, buf, out)
+		if err == nil {
+			return rid, nil
+		}
+		var terr *transportError
+		if !errors.As(err, &terr) {
+			// The server answered (or the response failed to decode): stamp
+			// the attempt count onto the envelope and surface it.
+			var ae *APIError
+			if errors.As(err, &ae) {
+				ae.Attempts = attempt
+			}
+			return rid, err
+		}
+		if !retryableTransport(method, terr.err) || attempt >= retryAttempts || ctx.Err() != nil {
+			return rid, &APIError{Code: CodeTransport, Message: "pland unreachable: " + terr.Error(), Attempts: attempt}
+		}
+		if serr := c.sleep(ctx, bo.next()); serr != nil {
+			return rid, &APIError{Code: CodeTransport, Message: "pland unreachable: " + terr.Error(), Attempts: attempt}
+		}
+	}
+}
+
+// doOnce is one round trip of do.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (string, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
 	if err != nil {
@@ -581,12 +687,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (st
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return "", fmt.Errorf("plandclient: %s %s: %w", method, path, err)
+		return "", &transportError{method: method, path: path, err: err}
 	}
 	defer resp.Body.Close()
 	rid := resp.Header.Get("X-Request-ID")
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return rid, decodeAPIError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return rid, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return rid, fmt.Errorf("plandclient: decoding %s %s response: %w", method, path, err)

@@ -1,0 +1,92 @@
+package plandclient
+
+// This file is the fleet-facing surface: the calls pland nodes make to each
+// other. Readiness probes feed each node's health view of its peers; session
+// handoff ships a draining node's live sessions to their ring successors;
+// the fleet-cache calls move canonicalized plan results between a key's ring
+// owner and the node that solved or needs them. External clients rarely call
+// these, but they are part of the wire contract like everything else here.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/url"
+
+	"repro/pkg/assign"
+)
+
+// Ready probes GET /readyz: nil when the node is accepting traffic, an
+// *APIError otherwise — 503 both while a boot's WAL recovery is still
+// running and from the moment a drain starts, which is what steers the
+// fleet's forwarded traffic away before a draining node's listener closes.
+// (Contrast /healthz, which stays 200 through a drain: liveness, not
+// readiness.)
+func (c *Client) Ready(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+	return err
+}
+
+// HandoffRequest is the body of POST /internal/handoff: one live session,
+// serialized exactly as the WAL journals it, shipped by a draining node to
+// the session's ring successor.
+type HandoffRequest struct {
+	// ID is the session's fleet-wide identifier; ownership follows it.
+	ID string `json:"id"`
+	// State is the full serializable session state (see assign.SessionState).
+	State *assign.SessionState `json:"state"`
+	// Fingerprint is the hex form of State's fingerprint, computed by the
+	// sender. The receiver recomputes it from the restored session and
+	// refuses the handoff on mismatch, so a corrupt transfer can never be
+	// served.
+	Fingerprint string `json:"fingerprint"`
+	// Meta is the owner blob journaled with the session's snapshots (replan
+	// budget shaping); opaque to the transfer.
+	Meta json.RawMessage `json:"meta,omitempty"`
+}
+
+// HandoffResult is the receiver's acknowledgement: the restored session's
+// recomputed fingerprint (equal to the request's by construction) and its
+// live input count.
+type HandoffResult struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Inputs      int    `json:"inputs"`
+	// RequestID is the server's X-Request-ID of the handoff call.
+	RequestID string `json:"-"`
+}
+
+// Handoff ships one session to this client's node via POST /internal/handoff.
+// The receiving node verifies the fingerprint, restores the session
+// (journaling it into its own WAL when durable), and serves it from then on.
+func (c *Client) Handoff(ctx context.Context, req HandoffRequest) (*HandoffResult, error) {
+	var out HandoffResult
+	rid, err := c.do(ctx, http.MethodPost, "/internal/handoff", req, &out)
+	if err != nil {
+		return nil, err
+	}
+	out.RequestID = rid
+	return &out, nil
+}
+
+// FleetCacheGet probes this node's shard of the fleet plan cache for a
+// canonical instance key. A miss returns (nil, nil); the raw stored response
+// is returned on a hit.
+func (c *Client) FleetCacheGet(ctx context.Context, key string) (json.RawMessage, error) {
+	var out json.RawMessage
+	_, err := c.do(ctx, http.MethodGet, "/internal/cache/"+url.PathEscape(key), nil, &out)
+	if IsCode(err, CodeNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FleetCachePut publishes a solved plan response into this node's shard of
+// the fleet cache.
+func (c *Client) FleetCachePut(ctx context.Context, key string, value json.RawMessage) error {
+	_, err := c.do(ctx, http.MethodPut, "/internal/cache/"+url.PathEscape(key), value, nil)
+	return err
+}

@@ -1,0 +1,193 @@
+package plandclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"repro/pkg/assign"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyServer refuses (closes) the first failures connections at the TCP
+// accept level, then serves normally — the connection-refused shape the
+// retry layer exists for, without real listener churn.
+type flakyStub struct {
+	mu       sync.Mutex
+	calls    int
+	failures int
+	status   int
+}
+
+func (f *flakyStub) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.calls++
+		fail := f.calls <= f.failures
+		f.mu.Unlock()
+		if fail {
+			// Hijack and slam the connection so the client sees a transport
+			// error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("no hijacker")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		if f.status != 0 && f.status != http.StatusOK {
+			w.WriteHeader(f.status)
+			fmt.Fprintf(w, `{"error":{"code":"queue_full","message":"full"}}`)
+			return
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j1", Type: "plan", State: StateSucceeded, Result: json.RawMessage(`{}`)})
+	})
+}
+
+func (f *flakyStub) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// instantSleep replaces the backoff sleeps and records them.
+func instantSleep(c *Client) *[]time.Duration {
+	var delays []time.Duration
+	c.sleep = func(_ context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return nil
+	}
+	return &delays
+}
+
+// TestRetryGetOnTransportError: a GET whose first two round trips die at the
+// transport succeeds on the third, with backoff sleeps between attempts.
+func TestRetryGetOnTransportError(t *testing.T) {
+	stub := &flakyStub{failures: 2}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := New(srv.URL)
+	delays := instantSleep(c)
+
+	job, err := c.GetJob(context.Background(), "j1")
+	if err != nil {
+		t.Fatalf("GetJob: %v", err)
+	}
+	if job.State != StateSucceeded {
+		t.Fatalf("job state = %s", job.State)
+	}
+	if got := stub.count(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if len(*delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*delays))
+	}
+	// The schedule doubles from retryBase with ±25% jitter.
+	for i, d := range *delays {
+		center := retryBase << i
+		if d < center-center/4 || d > center+center/4 {
+			t.Fatalf("delay %d = %v outside [%v, %v]", i, d, center-center/4, center+center/4)
+		}
+	}
+}
+
+// TestRetryBudgetExhausted: a GET against a dead endpoint fails with a
+// transport APIError carrying the full attempt count.
+func TestRetryBudgetExhausted(t *testing.T) {
+	// A listener that is closed immediately: every dial is refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	c := New("http://" + addr)
+	instantSleep(c)
+	_, err = c.GetJob(context.Background(), "j1")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if ae.Code != CodeTransport || ae.Attempts != retryAttempts {
+		t.Fatalf("APIError = code %q attempts %d, want %q/%d", ae.Code, ae.Attempts, CodeTransport, retryAttempts)
+	}
+	if ae.StatusCode != 0 {
+		t.Fatalf("transport error carries HTTP status %d", ae.StatusCode)
+	}
+}
+
+// TestNoRetryOnHTTPStatus: an HTTP error response is the server's verdict —
+// one attempt, no retries, attempt count stamped.
+func TestNoRetryOnHTTPStatus(t *testing.T) {
+	stub := &flakyStub{status: http.StatusTooManyRequests}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := New(srv.URL)
+	instantSleep(c)
+
+	_, err := c.GetJob(context.Background(), "j1")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeQueueFull {
+		t.Fatalf("err = %v, want queue_full APIError", err)
+	}
+	if ae.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", ae.Attempts)
+	}
+	if got := stub.count(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestNoRetryPostOnMidExchangeFailure: a POST that dies mid-exchange (not
+// connection-refused) must NOT be replayed — the server may have applied it.
+func TestNoRetryPostOnMidExchangeFailure(t *testing.T) {
+	stub := &flakyStub{failures: 1 << 30}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+	c := New(srv.URL)
+	instantSleep(c)
+
+	_, err := c.SubmitPlan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 10, Sizes: []assign.Size{3}})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeTransport {
+		t.Fatalf("err = %v, want transport APIError", err)
+	}
+	if ae.Attempts != 1 {
+		t.Fatalf("POST was attempted %d times, want 1", ae.Attempts)
+	}
+	if got := stub.count(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestRetryPostOnConnectionRefused: connection-refused means the server never
+// saw the request, so even non-idempotent methods retry.
+func TestRetryPostOnConnectionRefused(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	c := New("http://" + addr)
+	delays := instantSleep(c)
+	_, err = c.SubmitPlan(context.Background(), PlanRequest{Problem: "A2A", Capacity: 10, Sizes: []assign.Size{3}})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeTransport {
+		t.Fatalf("err = %v, want transport APIError", err)
+	}
+	if ae.Attempts != retryAttempts {
+		t.Fatalf("attempts = %d, want %d (refused connections retry on any method)", ae.Attempts, retryAttempts)
+	}
+	if len(*delays) != retryAttempts-1 {
+		t.Fatalf("slept %d times, want %d", len(*delays), retryAttempts-1)
+	}
+}

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Boots a 3-node pland ring, drives mixed traffic through every node with
+# cmd/loadgen, SIGTERMs one node mid-run, and asserts the clustering
+# contract: the killed node drains gracefully and hands its sessions to the
+# ring successor, the handed-off sessions keep serving with byte-identical
+# fingerprints, and the load run passes its latency/error/loss gates across
+# the failover. Run from the repo root; CI runs it next to the smoke and
+# crash-recovery scripts.
+set -euo pipefail
+
+PORTS=(18091 18092 18093)
+URLS=()
+for p in "${PORTS[@]}"; do URLS+=("http://127.0.0.1:$p"); done
+PEERS=$(IFS=,; echo "${URLS[*]}")
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "e2e-cluster: $*" >&2
+  for i in 0 1 2; do
+    echo "--- node$i log ---" >&2
+    cat "$WORK/node$i.log" >&2 || true
+  done
+  [ -f "$WORK/report.json" ] && { echo "--- load report ---" >&2; cat "$WORK/report.json" >&2; }
+  exit 1
+}
+
+go build -o "$WORK/pland" ./cmd/pland
+go build -o "$WORK/loadgen" ./cmd/loadgen
+
+# Boot the ring. Every node advertises itself in -peers; the aggressive
+# health cadence keeps the routing reaction inside the test's timescale.
+for i in 0 1 2; do
+  "$WORK/pland" -addr "127.0.0.1:${PORTS[$i]}" -log-format json \
+    -data-dir "$WORK/data$i" -self "${URLS[$i]}" -peers "$PEERS" \
+    -health-interval 200ms -health-fail 2 -drain-grace 600ms -drain 20s \
+    >>"$WORK/node$i.log" 2>&1 &
+  PIDS+=($!)
+done
+for i in 0 1 2; do
+  ok=""
+  for _ in $(seq 1 50); do
+    curl -fsS "${URLS[$i]}/readyz" >/dev/null 2>&1 && { ok=1; break; }
+    sleep 0.1
+  done
+  [ -n "$ok" ] || fail "node$i never became ready"
+done
+
+# Plant probe sessions through node0 until at least two land on the victim
+# (node2). Placement follows the ID's ring position, so this takes a handful
+# of draws. Record each probe's fingerprint — the handoff must preserve it.
+VICTIM="${URLS[2]}"
+PROBE_IDS=()
+PROBE_FPS=()
+for _ in $(seq 1 60); do
+  resp=$(curl -fsS "${URLS[0]}/v2/sessions" \
+    -d '{"capacity":24,"sizes":[5,3,7,2,6]}') || fail "probe create failed"
+  node=$(sed -n 's/.*"node":"\([^"]*\)".*/\1/p' <<<"$resp")
+  sid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$resp")
+  fp=$(sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p' <<<"$resp")
+  [ -n "$sid" ] && [ -n "$node" ] && [ -n "$fp" ] ||
+    fail "probe create response lacks id/node/fingerprint: $resp"
+  if [ "$node" = "$VICTIM" ]; then
+    # Churn it first so the handed-off state is more than its creation shape.
+    curl -fsS -X PATCH "${URLS[0]}/v2/sessions/$sid" \
+      -d '{"deltas":[{"op":"add","size":4}]}' >/dev/null ||
+      fail "probe delta on $sid failed"
+    fp=$(curl -fsS "${URLS[1]}/v2/sessions/$sid" |
+      sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p')
+    [ -n "$fp" ] || fail "probe $sid readback lost its fingerprint"
+    PROBE_IDS+=("$sid")
+    PROBE_FPS+=("$fp")
+    [ "${#PROBE_IDS[@]}" -ge 2 ] && break
+  fi
+done
+[ "${#PROBE_IDS[@]}" -ge 2 ] ||
+  fail "could not place 2 probe sessions on the victim in 60 draws"
+
+# Drive mixed traffic through all three nodes while the victim goes away.
+# The gates encode the acceptance bar: bounded p99 across the failover, a
+# small error budget, and zero acknowledged sessions lost. The rate is sized
+# for a small CI runner — a cold A2A solve costs ~50ms of CPU and all three
+# nodes share the same machine, so ~6 cold solves/s keeps the fleet loaded
+# without drowning it in queueing delay that would only measure the runner.
+"$WORK/loadgen" -targets "$PEERS" -rate 12 -duration 12s \
+  -mix plan=5,execute=3,churn=2 -capacity 24 -inputs 8 -seed 42 \
+  -max-p99 2500ms -max-error-rate 0.02 -require-zero-lost -lost-timeout 5s \
+  -out "$WORK/report.json" >>"$WORK/loadgen.log" 2>&1 &
+LG_PID=$!
+
+sleep 4
+kill -TERM "${PIDS[2]}"
+if ! wait "${PIDS[2]}"; then fail "victim node did not drain cleanly on SIGTERM"; fi
+PIDS=("${PIDS[0]}" "${PIDS[1]}")
+
+# The victim's sessions must now be served by the survivors, fingerprints
+# intact.
+for j in "${!PROBE_IDS[@]}"; do
+  sid="${PROBE_IDS[$j]}"
+  want="${PROBE_FPS[$j]}"
+  resp=$(curl -fsS "${URLS[0]}/v2/sessions/$sid") ||
+    fail "probe $sid unreachable after the victim drained"
+  got=$(sed -n 's/.*"fingerprint":"\([^"]*\)".*/\1/p' <<<"$resp")
+  node=$(sed -n 's/.*"node":"\([^"]*\)".*/\1/p' <<<"$resp")
+  [ "$got" = "$want" ] ||
+    fail "probe $sid fingerprint changed across handoff: $want -> $got"
+  [ "$node" != "$VICTIM" ] || fail "probe $sid still claims the dead node"
+  # ...and it must still take writes on its new home.
+  curl -fsS -X PATCH "${URLS[1]}/v2/sessions/$sid" \
+    -d '{"deltas":[{"op":"add","size":2}]}' |
+    grep -q '"applied":1' || fail "probe $sid refused a delta after handoff"
+done
+
+# At least one survivor must have booked the received handoffs.
+received=0
+for i in 0 1; do
+  curl -fsS -o "$WORK/metrics$i.txt" "${URLS[$i]}/metrics" ||
+    fail "metrics scrape of node$i failed"
+  n=$(awk '/^pland_cluster_handoffs_total\{outcome="received"\}/ { s += $NF } END { print s + 0 }' \
+    "$WORK/metrics$i.txt")
+  received=$((received + n))
+done
+[ "$received" -ge "${#PROBE_IDS[@]}" ] ||
+  fail "survivors report $received received handoffs, want >= ${#PROBE_IDS[@]}"
+
+# The load run must pass its own gates (loadgen exits 1 on violation).
+if ! wait "$LG_PID"; then
+  echo "--- loadgen log ---" >&2
+  cat "$WORK/loadgen.log" >&2 || true
+  fail "load run violated its gates"
+fi
+echo "--- load report ---"
+cat "$WORK/report.json"
+
+# Survivors drain cleanly too.
+for pid in "${PIDS[@]}"; do
+  kill -TERM "$pid"
+  wait "$pid" || fail "survivor did not exit cleanly"
+done
+PIDS=()
+echo "e2e cluster failover OK"
