@@ -101,9 +101,27 @@ type loadReport struct {
 	// FleetCacheHits counts plan results served from another node's solve.
 	FleetCacheHits uint64             `json:"fleet_cache_hits"`
 	ByOp           map[string]OpStats `json:"by_op"`
+	// FailedOps samples the first few failed ops with their correlation
+	// identity, so a gate violation comes with request and trace IDs that can
+	// be looked up in the fleet's logs and /debug/traces.
+	FailedOps []failedOp `json:"failed_ops,omitempty"`
 	// Violations lists every failed gate; empty means the run passed.
 	Violations []string `json:"violations"`
 }
+
+// failedOp is one sampled failure: the op, its error, the request ID loadgen
+// minted for the op (every server log line for it carries the same ID), and
+// the server's trace ID when the failure arrived as an HTTP response.
+type failedOp struct {
+	Op        string `json:"op"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id"`
+	TraceID   string `json:"trace_id,omitempty"`
+}
+
+// maxFailedOps caps the sample: enough to debug with, small enough that an
+// all-errors run does not bloat the report.
+const maxFailedOps = 10
 
 // generator is the shared state of one load run.
 type generator struct {
@@ -115,6 +133,9 @@ type generator struct {
 	cursor    atomic.Uint64 // round-robin target index
 	fleetHits atomic.Uint64
 	perOp     map[string]*opCounters
+
+	failMu sync.Mutex
+	failed []failedOp // first maxFailedOps failures, for the report
 }
 
 // parseMix turns "plan=6,execute=2,churn=2" into the Mix map.
@@ -257,11 +278,16 @@ func (g *generator) openLoop(ctx context.Context) {
 	}
 }
 
-// step runs one op end to end and records it.
+// step runs one op end to end and records it. Every op gets its own minted
+// request ID: the client sends it as X-Request-ID (and it seeds the
+// traceparent the SDK injects), so a failure here names the exact server log
+// lines and trace that produced it.
 func (g *generator) step(ctx context.Context, rng *rand.Rand) {
 	op := g.ops[rng.Intn(len(g.ops))]
 	c := g.perOp[op]
 	c.requests.Add(1)
+	rid := obs.NewRequestID()
+	ctx = obs.WithRequestID(ctx, rid)
 	start := time.Now()
 	var err error
 	var lost bool
@@ -281,17 +307,32 @@ func (g *generator) step(ctx context.Context, rng *rand.Rand) {
 	}
 	if err != nil {
 		c.errors.Add(1)
-		g.cfg.Log.Debug("op failed", "op", op, "error", err)
+		g.recordFailure(op, rid, err)
+		g.cfg.Log.Debug("op failed", "op", op, "request_id", rid, "error", err)
 	}
 	if lost {
 		c.lost.Add(1)
-		g.cfg.Log.Warn("session lost", "error", err)
+		g.cfg.Log.Warn("session lost", "request_id", rid, "error", err)
 	}
 }
 
-// nextClient hands out targets round-robin across all workers.
-func (g *generator) nextClient() *plandclient.Client {
-	return g.clients[g.cursor.Add(1)%uint64(len(g.clients))]
+// recordFailure samples the op into the report's failed-op list, preferring
+// the server's own correlation identity (the APIError's request and trace
+// IDs) over the client-minted request ID when a response came back.
+func (g *generator) recordFailure(op, rid string, err error) {
+	f := failedOp{Op: op, Error: err.Error(), RequestID: rid}
+	var aerr *plandclient.APIError
+	if errors.As(err, &aerr) {
+		if aerr.RequestID != "" {
+			f.RequestID = aerr.RequestID
+		}
+		f.TraceID = aerr.TraceID
+	}
+	g.failMu.Lock()
+	if len(g.failed) < maxFailedOps {
+		g.failed = append(g.failed, f)
+	}
+	g.failMu.Unlock()
 }
 
 // retryable reports whether an error is worth re-trying on a different
@@ -306,12 +347,17 @@ func retryable(err error) bool {
 }
 
 // onFleet runs fn against a target, rotating to the other targets when the
-// failure looks like the node's problem rather than the request's.
+// failure looks like the node's problem rather than the request's. The base
+// target comes from the shared round-robin cursor, but the rotation itself
+// walks the target list from there — drawing each retry from the shared
+// cursor would let interleaved workers hand one op the same dead node three
+// times, failing it without ever trying a live one.
 func (g *generator) onFleet(ctx context.Context, fn func(ctx context.Context, c *plandclient.Client) error) error {
 	var err error
+	base := g.cursor.Add(1)
 	for i := 0; i < len(g.clients); i++ {
 		octx, cancel := context.WithTimeout(ctx, g.cfg.OpTimeout)
-		err = fn(octx, g.nextClient())
+		err = fn(octx, g.clients[(base+uint64(i))%uint64(len(g.clients))])
 		cancel()
 		if err == nil || !retryable(err) || ctx.Err() != nil {
 			return err
@@ -474,5 +520,8 @@ func (g *generator) report(elapsed time.Duration) *loadReport {
 		r.Violations = append(r.Violations,
 			fmt.Sprintf("%d sessions lost; zero tolerated", r.Lost))
 	}
+	g.failMu.Lock()
+	r.FailedOps = append([]failedOp(nil), g.failed...)
+	g.failMu.Unlock()
 	return r
 }

@@ -115,6 +115,13 @@ func main() {
 		for _, v := range report.Violations {
 			log.Error("gate violated", "gate", v)
 		}
+		// Quote the sampled failures' correlation identity so the violation is
+		// immediately chaseable: grep the request ID in the fleet's logs, pull
+		// the trace from GET /debug/traces/{trace_id}.
+		for _, f := range report.FailedOps {
+			log.Error("failed op", "op", f.Op, "request_id", f.RequestID,
+				"trace_id", f.TraceID, "error", f.Error)
+		}
 		os.Exit(1)
 	}
 }

@@ -120,6 +120,12 @@ func (c *cluster) probe(ctx context.Context, peer string) error {
 	if err != nil {
 		return err
 	}
+	// Probes originate here, not from a client request, so they mint their
+	// own correlation identity — without it the peer's request log has no way
+	// to say which prober produced a line.
+	req.Header.Set(requestIDHeader, obs.NewRequestID())
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	resp, err := c.proxy.Do(req)
 	if err != nil {
 		return err
@@ -189,8 +195,14 @@ func (c *cluster) forwardOnce(w http.ResponseWriter, r *http.Request, body []byt
 	if len(body) > 0 {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target+r.URL.RequestURI(), rd)
+	// The hop is a child span of the request, and its traceparent rides the
+	// proxied request, so the owner's root span joins this trace.
+	ctx, fsp := obs.StartSpan(r.Context(), "forward")
+	fsp.SetAttr("peer", target)
+	defer fsp.End()
+	req, err := http.NewRequestWithContext(ctx, r.Method, target+r.URL.RequestURI(), rd)
 	if err != nil {
+		fsp.SetError(err.Error())
 		return err
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
@@ -201,12 +213,16 @@ func (c *cluster) forwardOnce(w http.ResponseWriter, r *http.Request, body []byt
 	if rid := w.Header().Get(requestIDHeader); rid != "" {
 		req.Header.Set(requestIDHeader, rid)
 	}
+	if tp := fsp.TraceContext().Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	req.Header.Set(headerForwarded, c.self)
 	if pin != "" {
 		req.Header.Set(headerPinnedID, pin)
 	}
 	resp, err := c.proxy.Do(req)
 	if err != nil {
+		fsp.SetError(err.Error())
 		return err
 	}
 	defer resp.Body.Close()
@@ -321,7 +337,13 @@ func (s *server) planFleet(ctx context.Context, body planRequest) (*planResponse
 		}
 		return resp, aerr
 	}
-	raw, err := c.clients[owner].FleetCacheGet(ctx, key)
+	cctx, csp := obs.StartSpan(ctx, "fleet_cache_get")
+	csp.SetAttr("peer", owner)
+	raw, err := c.clients[owner].FleetCacheGet(cctx, key)
+	if err != nil {
+		csp.SetError(err.Error())
+	}
+	csp.End()
 	switch {
 	case err != nil:
 		obsFleetProbes.With("error").Inc()
@@ -340,7 +362,10 @@ func (s *server) planFleet(ctx context.Context, body planRequest) (*planResponse
 	resp, aerr := s.runPlan(ctx, body, s.cfg.MaxTimeout)
 	if aerr == nil && err == nil {
 		if raw, merr := marshalCached(resp); merr == nil {
-			go c.publish(owner, key, raw)
+			// Capture the request's trace identity now: the publish outlives
+			// the request context but should still correlate on the peer.
+			tc, _ := obs.TraceContextFrom(ctx)
+			go c.publish(owner, key, raw, obs.RequestID(ctx), tc)
 		}
 	}
 	return resp, aerr
@@ -364,12 +389,18 @@ func decodeCached(raw []byte) *planResponse {
 }
 
 // publish ships a freshly solved result to the key owner's cache shard,
-// detached from the request that solved it.
-func (c *cluster) publish(owner, key string, raw []byte) {
+// detached from the request that solved it but still carrying its request ID
+// and trace context so the peer's logs correlate back to the solving request.
+func (c *cluster) publish(owner, key string, raw []byte, rid string, tc obs.TraceContext) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	ctx = obs.WithRequestID(ctx, rid)
+	ctx = obs.WithTraceContext(ctx, tc)
 	if err := c.clients[owner].FleetCachePut(ctx, key, raw); err != nil {
-		c.log.Warn("fleet cache publish failed", "peer", owner, "error", err)
+		c.log.Warn("fleet cache publish failed", "peer", owner, "error", err, "request_id", rid)
 	}
 }
 
@@ -537,7 +568,7 @@ func (s *server) handoffSessions(ctx context.Context) {
 		s.sessMu.Unlock()
 		s.cancelRebuild(e)
 		e.sess.Close()
-		s.journalSessionClose(e.id)
+		s.journalSessionClose(ctx, e.id)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"time"
@@ -154,6 +155,8 @@ func (s *server) recoverWAL() error {
 			s.log.Warn("dropping job: payload no longer valid", "job", rj.ID, "error", aerr.Message)
 			continue
 		}
+		// Recovered jobs have no submitting request; they root a fresh trace.
+		run = s.traceJobFunc(rj.Kind, nil, run)
 		if _, err := s.jobs.Restore(rj.ID, rj.Kind, run); err != nil {
 			obsRecoveryJobFailures.Inc()
 			s.log.Warn("dropping job: re-enqueue failed", "job", rj.ID, "error", err)
@@ -288,16 +291,17 @@ func (s *server) stopCheckpointer() {
 // journalSessionClose records a client-initiated close. Only the DELETE
 // handler (and the create path's limit-race abort) calls it: the shutdown
 // drain closes sessions without close records, which is precisely what lets
-// them survive a restart.
-func (s *server) journalSessionClose(id string) {
+// them survive a restart. The handler's ctx traces the append; the cluster
+// drain passes its own.
+func (s *server) journalSessionClose(ctx context.Context, id string) {
 	if s.wal == nil {
 		return
 	}
-	_ = s.wal.Append(&wal.Record{Kind: wal.KindSessionClose, SID: id})
+	_ = s.wal.AppendCtx(ctx, &wal.Record{Kind: wal.KindSessionClose, SID: id})
 }
 
 // journalJobSubmit records an accepted v2 job so a crash re-enqueues it.
-func (s *server) journalJobSubmit(id, kind string, body jobSubmitRequest) {
+func (s *server) journalJobSubmit(ctx context.Context, id, kind string, body jobSubmitRequest) {
 	if s.wal == nil {
 		return
 	}
@@ -309,7 +313,7 @@ func (s *server) journalJobSubmit(id, kind string, body jobSubmitRequest) {
 	s.walMu.Lock()
 	s.walJobs[id] = walJob{kind: kind, body: raw}
 	s.walMu.Unlock()
-	_ = s.wal.Append(&wal.Record{Kind: wal.KindJobSubmit, JobID: id, JobKind: kind, JobBody: raw})
+	_ = s.wal.AppendCtx(ctx, &wal.Record{Kind: wal.KindJobSubmit, JobID: id, JobKind: kind, JobBody: raw})
 }
 
 // jobFinished is the jobs.Manager OnFinish hook (it runs under the manager

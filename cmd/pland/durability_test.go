@@ -201,7 +201,7 @@ func TestCrashReenqueuesJobs(t *testing.T) {
 	queuedBody := jobSubmitRequest{Type: jobTypePlan, Plan: &planRequest{
 		Problem: "A2A", Capacity: 10, Sizes: []assign.Size{4, 4, 1}, TimeoutMS: -1,
 	}}
-	s1.journalJobSubmit("j-queued", jobTypePlan, queuedBody)
+	s1.journalJobSubmit(context.Background(), "j-queued", jobTypePlan, queuedBody)
 	crash(t, s1, srv1)
 
 	s2, srv2, c2 := bootDurable(t, dataDir)

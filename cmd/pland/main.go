@@ -37,12 +37,26 @@
 //	                         finished and from the moment a drain starts;
 //	                         fleet peers probe it to route around this node
 //	GET    /metrics          Prometheus text exposition of every pland series
-//	GET    /debug/pprof/     runtime profiles; both move to the separate
-//	                         -debug-addr listener when one is given
+//	GET    /debug/traces     retained-trace summaries from the flight recorder
+//	                         (?route=, ?status=error, ?min_ms=, ?limit=)
+//	GET    /debug/traces/{id} one trace's span trees — merged from every fleet
+//	                         node unless ?local=1; ?format=chrome renders
+//	                         Chrome trace-event JSON for Perfetto
+//	GET    /debug/pprof/     runtime profiles; all three debug surfaces move
+//	                         to the separate -debug-addr listener when one is
+//	                         given
 //
 // Every response carries an X-Request-ID header (client-provided or
 // generated) that the structured request log echoes, so one failing call can
 // be found in the logs from its response alone.
+//
+// Every request is also traced: the middleware parses an inbound W3C
+// traceparent header (minting a fresh trace otherwise), handlers hang child
+// spans off the request span, and every outbound fleet call re-injects the
+// header, so one client call is one trace across every node it touches. The
+// flight recorder retains completed traces tail-based — errored and
+// slower-than -trace-slow traces always, a -trace-sample fraction of the
+// rest — in a fixed -trace-buffer ring served by /debug/traces.
 //
 // Every error is the same JSON envelope: {"error":{"code":"...","message":"..."}}.
 //
@@ -106,32 +120,35 @@ func splitPeers(s string) []string {
 func main() {
 	fs := flag.NewFlagSet("pland", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		cacheSize  = fs.Int("cache", assign.DefaultCacheEntries, "canonical plan cache capacity (0 disables)")
-		timeout    = fs.Duration("timeout", assign.DefaultTimeout, "default per-request planning budget")
-		maxTimeout = fs.Duration("max-timeout", 10*time.Second, "largest per-request budget a synchronous client may ask for")
-		maxBody    = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
-		maxInputs  = fs.Int("max-inputs", 200_000, "largest accepted instance size (total inputs)")
-		maxExec    = fs.Int("max-exec-inputs", 1000, "largest instance execute runs (pair work is quadratic)")
-		jobWorkers = fs.Int("job-workers", 0, "v2 job worker pool size (0 = GOMAXPROCS)")
-		queueDepth = fs.Int("queue-depth", 64, "v2 job queue depth; beyond it submits get 429")
-		resultTTL  = fs.Duration("result-ttl", 15*time.Minute, "how long finished v2 job results are retained for polling")
-		maxJobTO   = fs.Duration("max-job-timeout", 5*time.Minute, "largest planning budget a v2 job may ask for")
-		drain      = fs.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests and jobs")
-		maxSess    = fs.Int("max-sessions", 64, "largest number of live v2 sessions")
-		maxSessIn  = fs.Int("max-session-inputs", 10_000, "largest live input count per session")
-		debugAddr  = fs.String("debug-addr", "", "separate listener for /metrics and /debug/pprof (default: served on -addr)")
-		logFormat  = fs.String("log-format", "text", `log output format: "text" or "json"`)
-		dataDir    = fs.String("data-dir", "", "directory for the durability WAL; empty runs in-memory only")
-		fsyncMode  = fs.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "never"`)
-		fsyncEvery = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync=interval")
-		ckptEvery  = fs.Duration("checkpoint-interval", time.Minute, "WAL snapshot-checkpoint and compaction cadence")
-		self       = fs.String("self", "", "this node's advertised base URL in a -peers fleet (e.g. http://10.0.0.1:8080)")
-		peers      = fs.String("peers", "", "comma-separated base URLs of every fleet node including this one; empty runs single-node")
-		healthInt  = fs.Duration("health-interval", 500*time.Millisecond, "peer readiness probe cadence")
-		healthFail = fs.Int("health-fail", 2, "consecutive failed probes before a peer is routed around")
-		drainGrace = fs.Duration("drain-grace", time.Second, "pause after /readyz flips to 503 before the listener closes, so peers stop forwarding here (clustered only)")
-		fleetCache = fs.Int("fleet-cache", 0, "fleet plan-cache shard capacity in entries (0 = default)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		cacheSize   = fs.Int("cache", assign.DefaultCacheEntries, "canonical plan cache capacity (0 disables)")
+		timeout     = fs.Duration("timeout", assign.DefaultTimeout, "default per-request planning budget")
+		maxTimeout  = fs.Duration("max-timeout", 10*time.Second, "largest per-request budget a synchronous client may ask for")
+		maxBody     = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+		maxInputs   = fs.Int("max-inputs", 200_000, "largest accepted instance size (total inputs)")
+		maxExec     = fs.Int("max-exec-inputs", 1000, "largest instance execute runs (pair work is quadratic)")
+		jobWorkers  = fs.Int("job-workers", 0, "v2 job worker pool size (0 = GOMAXPROCS)")
+		queueDepth  = fs.Int("queue-depth", 64, "v2 job queue depth; beyond it submits get 429")
+		resultTTL   = fs.Duration("result-ttl", 15*time.Minute, "how long finished v2 job results are retained for polling")
+		maxJobTO    = fs.Duration("max-job-timeout", 5*time.Minute, "largest planning budget a v2 job may ask for")
+		drain       = fs.Duration("drain", 30*time.Second, "shutdown drain deadline for in-flight requests and jobs")
+		maxSess     = fs.Int("max-sessions", 64, "largest number of live v2 sessions")
+		maxSessIn   = fs.Int("max-session-inputs", 10_000, "largest live input count per session")
+		debugAddr   = fs.String("debug-addr", "", "separate listener for /metrics, /debug/pprof, and /debug/traces (default: served on -addr)")
+		logFormat   = fs.String("log-format", "text", `log output format: "text" or "json"`)
+		dataDir     = fs.String("data-dir", "", "directory for the durability WAL; empty runs in-memory only")
+		fsyncMode   = fs.String("fsync", "interval", `WAL fsync policy: "always", "interval", or "never"`)
+		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence under -fsync=interval")
+		ckptEvery   = fs.Duration("checkpoint-interval", time.Minute, "WAL snapshot-checkpoint and compaction cadence")
+		self        = fs.String("self", "", "this node's advertised base URL in a -peers fleet (e.g. http://10.0.0.1:8080)")
+		peers       = fs.String("peers", "", "comma-separated base URLs of every fleet node including this one; empty runs single-node")
+		healthInt   = fs.Duration("health-interval", 500*time.Millisecond, "peer readiness probe cadence")
+		healthFail  = fs.Int("health-fail", 2, "consecutive failed probes before a peer is routed around")
+		drainGrace  = fs.Duration("drain-grace", time.Second, "pause after /readyz flips to 503 before the listener closes, so peers stop forwarding here (clustered only)")
+		fleetCache  = fs.Int("fleet-cache", 0, "fleet plan-cache shard capacity in entries (0 = default)")
+		traceSample = fs.Float64("trace-sample", 0.05, "fraction of fast successful traces the flight recorder keeps (errored/slow traces are always kept)")
+		traceSlow   = fs.Duration("trace-slow", 250*time.Millisecond, "latency at or above which a trace is always retained")
+		traceBuf    = fs.Int("trace-buffer", 512, "flight-recorder capacity in retained traces")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -183,6 +200,9 @@ func main() {
 		HealthInterval:     *healthInt,
 		HealthFailAfter:    *healthFail,
 		FleetCacheEntries:  *fleetCache,
+		TraceSampleRate:    *traceSample,
+		TraceSlow:          *traceSlow,
+		TraceBufferEntries: *traceBuf,
 	})
 	if err != nil {
 		logger.Error("starting server", "dir", *dataDir, "error", err)
@@ -214,7 +234,7 @@ func main() {
 	if *debugAddr != "" {
 		ds = &http.Server{
 			Addr:              *debugAddr,
-			Handler:           debugMux(),
+			Handler:           srv.debugMux(),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		logger.Info("debug listener", "addr", *debugAddr)

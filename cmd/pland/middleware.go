@@ -36,6 +36,9 @@ func routeLabel(path string) string {
 		"/internal/handoff", "/metrics":
 		return path
 	}
+	if path == "/debug/traces" {
+		return path
+	}
 	switch {
 	case strings.HasPrefix(path, "/v2/jobs/"):
 		return "/v2/jobs/{id}"
@@ -43,6 +46,8 @@ func routeLabel(path string) string {
 		return "/v2/sessions/{id}"
 	case strings.HasPrefix(path, "/internal/cache/"):
 		return "/internal/cache/{key}"
+	case strings.HasPrefix(path, "/debug/traces/"):
+		return "/debug/traces/{id}"
 	case strings.HasPrefix(path, "/debug/pprof"):
 		return "/debug/pprof"
 	}
@@ -89,9 +94,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // withObs wraps next with the observability spine: request-ID propagation, a
-// per-request span that the planner's stages report into, per-route request
-// counters and latency histograms, and one structured log line per request.
-func withObs(logger *slog.Logger, next http.Handler) http.Handler {
+// per-request trace-root span that stage spans report into (joining the
+// inbound traceparent's trace when one arrives), per-route request counters
+// and latency histograms, the flight recorder, and one structured log line
+// per request.
+func withObs(logger *slog.Logger, rec *obs.Recorder, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		route := routeLabel(r.URL.Path)
@@ -101,8 +108,16 @@ func withObs(logger *slog.Logger, next http.Handler) http.Handler {
 			id = obs.NewRequestID()
 		}
 		ctx := obs.WithRequestID(r.Context(), id)
+		if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.WithTraceContext(ctx, tc)
+		}
+		ctx = obs.WithRecorder(ctx, rec)
 		ctx, sp := obs.StartSpan(ctx, route)
+		if from := r.Header.Get(headerForwarded); from != "" {
+			sp.SetAttr("forwarded_from", from)
+		}
 		w.Header().Set(requestIDHeader, id)
+		w.Header().Set(obs.TraceparentHeader, sp.TraceContext().Traceparent())
 
 		sw := &statusWriter{ResponseWriter: w}
 		obsHTTPInFlight.Inc()
@@ -126,13 +141,23 @@ func withObs(logger *slog.Logger, next http.Handler) http.Handler {
 		}
 		attrs = append(attrs, sp.LogAttrs()...)
 		logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+
+		// End after the log line so LogAttrs sees a live span; failed/slow
+		// retention in the recorder triggers here.
+		if status >= 400 {
+			sp.SetError("HTTP " + strconv.Itoa(status))
+		}
+		sp.End()
 	})
 }
 
-// registerDebug mounts the metrics and pprof endpoints on mux. They sit on
-// the main listener by default and move to -debug-addr when one is given.
-func registerDebug(mux *http.ServeMux) {
+// registerDebug mounts the metrics, pprof, and trace endpoints on mux. They
+// sit on the main listener by default and move to -debug-addr when one is
+// given.
+func (s *server) registerDebug(mux *http.ServeMux) {
 	mux.Handle("/metrics", obs.Handler(obs.Default))
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/traces/", s.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -141,8 +166,8 @@ func registerDebug(mux *http.ServeMux) {
 }
 
 // debugMux builds the standalone handler the -debug-addr listener serves.
-func debugMux() *http.ServeMux {
+func (s *server) debugMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	registerDebug(mux)
+	s.registerDebug(mux)
 	return mux
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -8,6 +9,9 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/pkg/assign"
 )
 
 func TestRouteLabel(t *testing.T) {
@@ -23,6 +27,8 @@ func TestRouteLabel(t *testing.T) {
 		"/metrics":           "/metrics",
 		"/debug/pprof/":      "/debug/pprof",
 		"/debug/pprof/heap":  "/debug/pprof",
+		"/debug/traces":      "/debug/traces",
+		"/debug/traces/abcd": "/debug/traces/{id}",
 		"/":                  "other",
 		"/no/such/endpoint":  "other",
 		"/v2/jobs/a/b/extra": "/v2/jobs/{id}",
@@ -122,7 +128,14 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestMetricsMovesToDebugAddr checks that configuring a debug listener takes
 // /metrics and pprof off the API mux.
 func TestMetricsMovesToDebugAddr(t *testing.T) {
-	srv := newTestServerCfg(t, serverConfig{DebugAddr: "127.0.0.1:0"})
+	s := newServer(assign.NewPlanner(assign.PlannerConfig{}), serverConfig{DebugAddr: "127.0.0.1:0"})
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +145,7 @@ func TestMetricsMovesToDebugAddr(t *testing.T) {
 		t.Fatalf("GET /metrics on API mux = %d, want 404 when -debug-addr is set", resp.StatusCode)
 	}
 
-	dbg := httptest.NewServer(debugMux())
+	dbg := httptest.NewServer(s.debugMux())
 	defer dbg.Close()
 	resp, err = http.Get(dbg.URL + "/metrics")
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/pkg/assign"
 )
@@ -37,9 +38,16 @@ type serverConfig struct {
 	// MaxSessionInputs bounds the live inputs of each.
 	MaxSessions      int
 	MaxSessionInputs int
-	// DebugAddr is the separate listener -debug-addr serves /metrics and
-	// /debug/pprof on; when empty they mount on the main mux instead.
+	// DebugAddr is the separate listener -debug-addr serves /metrics,
+	// /debug/pprof, and /debug/traces on; when empty they mount on the main
+	// mux instead.
 	DebugAddr string
+	// TraceSampleRate, TraceSlow, and TraceBufferEntries shape the flight
+	// recorder (see internal/obs): the fraction of fast-OK traces kept, the
+	// latency at which a trace is always kept, and the ring capacity.
+	TraceSampleRate    float64
+	TraceSlow          time.Duration
+	TraceBufferEntries int
 	// Logger receives one structured line per request; nil uses slog.Default.
 	Logger *slog.Logger
 	// DataDir, when non-empty, makes sessions and queued jobs durable: a WAL
@@ -64,13 +72,14 @@ type serverConfig struct {
 // server is the HTTP front end over the assign SDK. It is a plain
 // http.Handler so tests drive it through httptest without a listener.
 type server struct {
-	planner *assign.Planner
-	jobs    *jobs.Manager
-	cfg     serverConfig
-	mux     *http.ServeMux
-	handler http.Handler // mux wrapped in the observability middleware
-	log     *slog.Logger
-	started time.Time
+	planner  *assign.Planner
+	jobs     *jobs.Manager
+	cfg      serverConfig
+	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the observability middleware
+	log      *slog.Logger
+	recorder *obs.Recorder
+	started  time.Time
 
 	sessMu   sync.Mutex
 	sessions map[string]*sessionEntry
@@ -126,10 +135,16 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 		cfg.Logger = slog.Default()
 	}
 	s := &server{
-		planner:  pl,
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		log:      cfg.Logger,
+		planner: pl,
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		log:     cfg.Logger,
+		recorder: obs.NewRecorder(obs.RecorderConfig{
+			Capacity:      cfg.TraceBufferEntries,
+			SampleRate:    cfg.TraceSampleRate,
+			SlowThreshold: cfg.TraceSlow,
+			Node:          cfg.Self,
+		}),
 		started:  time.Now(),
 		sessions: make(map[string]*sessionEntry),
 		walJobs:  make(map[string]walJob),
@@ -152,12 +167,12 @@ func newServer(pl *assign.Planner, cfg serverConfig) *server {
 	s.mux.HandleFunc("/internal/handoff", s.handleHandoff)
 	s.mux.HandleFunc("/internal/cache/", s.handleFleetCache)
 	if cfg.DebugAddr == "" {
-		registerDebug(s.mux)
+		s.registerDebug(s.mux)
 	}
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, notFound("no such endpoint"))
 	})
-	s.handler = withObs(s.log, s.mux)
+	s.handler = withObs(s.log, s.recorder, s.mux)
 	// Without a WAL there is no boot recovery to wait for; newDurableServer
 	// flips readiness itself once recovery and the re-anchor checkpoint ran.
 	if cfg.DataDir == "" {
@@ -622,11 +637,12 @@ type httpStats struct {
 // sessions block the session-manager state.
 type statsResponse struct {
 	assign.Stats
-	Jobs          jobs.Stats    `json:"jobs"`
-	Sessions      sessionsStats `json:"sessions"`
-	HTTP          httpStats     `json:"http"`
-	Cluster       *clusterStats `json:"cluster,omitempty"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
+	Jobs          jobs.Stats        `json:"jobs"`
+	Sessions      sessionsStats     `json:"sessions"`
+	HTTP          httpStats         `json:"http"`
+	Trace         obs.RecorderStats `json:"trace"`
+	Cluster       *clusterStats     `json:"cluster,omitempty"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -642,6 +658,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.jobs.Stats(),
 		Sessions:      sessionsStats{Live: live, Limit: s.cfg.MaxSessions},
 		HTTP:          httpStats{InFlight: obsHTTPInFlight.Value()},
+		Trace:         s.recorder.Stats(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	if s.cluster != nil {

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/pkg/assign"
 )
 
@@ -215,7 +216,7 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		sess.Close()
 		// NewSession already journaled the initial snapshot; without a close
 		// record recovery would resurrect this never-served session.
-		s.journalSessionClose(id)
+		s.journalSessionClose(r.Context(), id)
 		writeAPIError(w, &apiError{Status: http.StatusTooManyRequests, Code: codeSessionLimit,
 			Message: fmt.Sprintf("session limit (%d) reached; DELETE one first", s.cfg.MaxSessions)})
 		return
@@ -280,7 +281,7 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		// The close record goes in only after Close: a checkpoint snapshot
 		// either landed before it (superseded by the close) or hit ErrClosed,
 		// so recovery can never resurrect a deleted session.
-		s.journalSessionClose(id)
+		s.journalSessionClose(r.Context(), id)
 		writeJSON(w, http.StatusOK, sessionResponse{ID: entry.id, Stats: stats})
 	default:
 		writeAPIError(w, methodNotAllowed("GET, PATCH, or DELETE"))
@@ -302,6 +303,10 @@ func (s *server) patchSession(w http.ResponseWriter, r *http.Request, entry *ses
 	}
 	entry.mu.Lock()
 	defer entry.mu.Unlock()
+	// The whole batch is one "delta" stage of the request span: per-delta
+	// spans would let a large batch blow the span-children cap for no
+	// diagnostic gain (the response already reports per-delta outcomes).
+	endDelta := obs.SpanFrom(r.Context()).Stage("delta")
 	resp := sessionPatchResponse{Results: make([]sessionDeltaResult, 0, len(body.Deltas))}
 	for i, d := range body.Deltas {
 		var (
@@ -337,7 +342,8 @@ func (s *server) patchSession(w http.ResponseWriter, r *http.Request, entry *ses
 		resp.Applied++
 		resp.Results = append(resp.Results, sessionDeltaResult{DeltaReport: rep})
 	}
-	resp.RebuildJobID = s.maybeScheduleRebuild(entry)
+	endDelta()
+	resp.RebuildJobID = s.maybeScheduleRebuild(r.Context(), entry)
 	resp.Stats = entry.sess.Stats()
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -377,8 +383,9 @@ func (s *server) activeRebuildLocked(entry *sessionEntry) string {
 // maybeScheduleRebuild submits a "rebuild" job for the session when drift
 // passed the threshold and no rebuild is already queued or running. The
 // caller holds entry.mu via patchSession; list/GET paths go through
-// activeRebuild instead.
-func (s *server) maybeScheduleRebuild(entry *sessionEntry) string {
+// activeRebuild instead. submitCtx is the PATCH's context — the rebuild's
+// trace joins the batch that triggered it.
+func (s *server) maybeScheduleRebuild(submitCtx context.Context, entry *sessionEntry) string {
 	if id := s.activeRebuildLocked(entry); id != "" {
 		return id
 	}
@@ -386,7 +393,7 @@ func (s *server) maybeScheduleRebuild(entry *sessionEntry) string {
 		return ""
 	}
 	sess := entry.sess
-	snap, err := s.jobs.Submit("rebuild", func(ctx context.Context) (any, error) {
+	snap, err := s.jobs.Submit("rebuild", s.traceJobFunc("rebuild", submitCtx, func(ctx context.Context) (any, error) {
 		jctx, cancel := context.WithTimeout(ctx, s.cfg.MaxJobTimeout)
 		defer cancel()
 		rep, err := sess.Rebuild(jctx)
@@ -394,7 +401,7 @@ func (s *server) maybeScheduleRebuild(entry *sessionEntry) string {
 			return nil, err
 		}
 		return rep, nil
-	})
+	}))
 	if err != nil {
 		// A full queue is not an error for the batch itself: the rebuild is
 		// retried on a later PATCH.

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/assign"
+	"repro/pkg/assign/plandclient"
+)
+
+// newTracedCluster boots n in-process nodes like newTestCluster, but with the
+// flight recorder keeping every trace (sample rate 1) and each node knowing
+// its own advertised URL before newServer runs — the recorder stamps it as
+// the Node of every record, which is what the cross-node assertions read.
+// The indirection through a late-bound handler breaks the listener/URL cycle.
+func newTracedCluster(t *testing.T, n int) ([]*server, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*server, n)
+	httpSrvs := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range servers {
+		i := i
+		httpSrvs[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			servers[i].ServeHTTP(w, r)
+		}))
+		urls[i] = httpSrvs[i].URL
+	}
+	for i := range servers {
+		servers[i] = newServer(assign.NewPlanner(assign.PlannerConfig{}), serverConfig{
+			Self:            urls[i],
+			Peers:           urls,
+			TraceSampleRate: 1,
+		})
+	}
+	t.Cleanup(func() {
+		for i := range servers {
+			httpSrvs[i].Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			servers[i].Close(ctx)
+			cancel()
+		}
+	})
+	for i, s := range servers {
+		cl, err := newCluster(s.cfg, s.log)
+		if err != nil {
+			t.Fatalf("newCluster(%d): %v", i, err)
+		}
+		s.cluster = cl
+	}
+	return servers, httpSrvs
+}
+
+// traceRecords polls a node's recorder for a trace: the forwarding node's
+// root record commits as its handler returns, which can race the client
+// seeing the response by a hair.
+func traceRecords(t *testing.T, s *server, traceID string) []obs.TraceRecord {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if recs := s.recorder.Get(traceID); len(recs) > 0 {
+			return recs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s never retained trace %s", s.cfg.Self, traceID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// findSpan walks a snapshot tree for a span by name.
+func findSpan(snap obs.SpanSnapshot, name string) *obs.SpanSnapshot {
+	if snap.Name == name {
+		return &snap
+	}
+	for _, c := range snap.Children {
+		if found := findSpan(c, name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// TestClusterTracePropagation is the tentpole's cross-node assertion: a
+// forwarded session create yields ONE trace ID whose span records exist on
+// both the entry node (with a "forward" child naming the peer) and the owner
+// (annotated with the forwarder), and GET /debug/traces/{id} on either node
+// merges the whole forest.
+func TestClusterTracePropagation(t *testing.T) {
+	servers, httpSrvs := newTracedCluster(t, 2)
+	ctx := context.Background()
+	c0 := plandclient.New(httpSrvs[0].URL)
+
+	// Create sessions through node 0 until one's ring owner is node 1, i.e.
+	// the create was forwarded. IDs are random, so a handful of tries suffices.
+	var traceID, owner string
+	for try := 0; try < 64; try++ {
+		sess, err := c0.CreateSession(ctx, plandclient.SessionCreateRequest{
+			Capacity: 10, Sizes: []assign.Size{3, 4, 5},
+		})
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		if sess.TraceID == "" {
+			t.Fatal("create response carried no trace ID")
+		}
+		if sess.Node != httpSrvs[0].URL {
+			traceID, owner = sess.TraceID, sess.Node
+			break
+		}
+	}
+	if traceID == "" {
+		t.Fatal("64 creates all landed on node 0; forwarding never exercised")
+	}
+	if owner != httpSrvs[1].URL {
+		t.Fatalf("owner = %s, want node 1 (%s)", owner, httpSrvs[1].URL)
+	}
+
+	// Node 0 retained the entry hop: route /v2/sessions with a forward child
+	// pointing at the owner.
+	recs0 := traceRecords(t, servers[0], traceID)
+	var entry *obs.TraceRecord
+	for i := range recs0 {
+		if recs0[i].Route == "/v2/sessions" {
+			entry = &recs0[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("node 0 has no /v2/sessions record for trace %s: %+v", traceID, recs0)
+	}
+	fwd := findSpan(entry.Root, "forward")
+	if fwd == nil {
+		t.Fatalf("entry record has no forward span: %+v", entry.Root)
+	}
+	peerAttr := ""
+	for _, a := range fwd.Attrs {
+		if a.Key == "peer" {
+			peerAttr = a.Value
+		}
+	}
+	if peerAttr != owner {
+		t.Fatalf("forward span peer = %q, want %q", peerAttr, owner)
+	}
+
+	// Node 1 retained the owner's half under the SAME trace ID, annotated
+	// with who forwarded it, and its root joined node 0's trace remotely.
+	recs1 := traceRecords(t, servers[1], traceID)
+	ownerRec := recs1[0]
+	if ownerRec.Node != httpSrvs[1].URL {
+		t.Fatalf("owner record node = %q, want %q", ownerRec.Node, httpSrvs[1].URL)
+	}
+	if !ownerRec.Root.Remote {
+		t.Error("owner root span did not join a remote parent")
+	}
+	from := ""
+	for _, a := range ownerRec.Root.Attrs {
+		if a.Key == "forwarded_from" {
+			from = a.Value
+		}
+	}
+	if from != httpSrvs[0].URL {
+		t.Fatalf("owner root forwarded_from = %q, want %q", from, httpSrvs[0].URL)
+	}
+
+	// GET /debug/traces/{id} on node 0 fans out and returns both halves.
+	resp, err := http.Get(httpSrvs[0].URL + "/debug/traces/" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces/{id} = %d", resp.StatusCode)
+	}
+	var tr traceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[string]bool{}
+	for _, rec := range tr.Records {
+		if rec.TraceID != traceID {
+			t.Fatalf("merged record has trace %s, want %s", rec.TraceID, traceID)
+		}
+		nodes[rec.Node] = true
+	}
+	if !nodes[httpSrvs[0].URL] || !nodes[httpSrvs[1].URL] {
+		t.Fatalf("merged trace spans nodes %v, want both %s and %s", nodes, httpSrvs[0].URL, httpSrvs[1].URL)
+	}
+
+	// The Chrome export renders one process lane per node.
+	resp, err = http.Get(httpSrvs[0].URL + "/debug/traces/" + traceID + "?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var chrome struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	lanes := map[int]bool{}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Phase == "M" {
+			lanes[ev.PID] = true
+		}
+	}
+	if len(lanes) != 2 {
+		t.Fatalf("chrome export has %d process lanes, want 2", len(lanes))
+	}
+}
+
+// TestTraceHeaderMatchesRecorder: the traceparent a response carries names
+// exactly the trace the flight recorder retained, and /debug/traces lists it.
+func TestTraceHeaderMatchesRecorder(t *testing.T) {
+	s := newServer(assign.NewPlanner(assign.PlannerConfig{}), serverConfig{TraceSampleRate: 1})
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	})
+
+	resp, _ := postPlan(t, srv, `{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status = %d", resp.StatusCode)
+	}
+	tc, ok := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader))
+	if !ok {
+		t.Fatalf("response traceparent %q did not parse", resp.Header.Get(obs.TraceparentHeader))
+	}
+
+	recs := traceRecords(t, s, tc.TraceID)
+	if recs[0].Route != "/v1/plan" {
+		t.Fatalf("retained route = %q, want /v1/plan", recs[0].Route)
+	}
+	if findSpan(recs[0].Root, "canonicalize") == nil {
+		t.Errorf("plan trace has no canonicalize stage: %+v", recs[0].Root)
+	}
+
+	listResp, err := http.Get(srv.URL + "/debug/traces?route=/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list tracesResponse
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range list.Traces {
+		if tr.TraceID == tc.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/traces?route=/v1/plan does not list trace %s", tc.TraceID)
+	}
+}
+
+// TestMetricsLabelCardinality is the guard against unbounded label values
+// leaking into the registry (e.g. a request or trace ID used as a label):
+// after real traffic, no metric family may exceed a fixed series budget.
+// The `le` bucket label is dropped before counting — it is structurally
+// bounded by the histogram's bucket layout, and with it a histogram vec's
+// series count is routes × buckets, which would drown the signal. Bounded
+// vocabularies (routes, statuses, outcomes) stay far under the budget; one
+// unbounded label blows past it immediately.
+func TestMetricsLabelCardinality(t *testing.T) {
+	srv := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"problem":"A2A","capacity":10,"sizes":[%d,3,2]}`, i+1)
+		if resp, _ := postPlan(t, srv, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan status = %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	const budget = 128
+	series := map[string]map[string]bool{}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, _, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		family, labels, _ := strings.Cut(metric, "{")
+		if start := strings.Index(labels, `le="`); start >= 0 {
+			end := strings.Index(labels[start+4:], `"`)
+			labels = labels[:start] + labels[start+4+end+1:]
+		}
+		if series[family] == nil {
+			series[family] = map[string]bool{}
+		}
+		series[family][family+"{"+labels] = true
+	}
+	for family, set := range series {
+		if len(set) > budget {
+			t.Errorf("family %s has %d series, budget is %d — an unbounded label leaked in", family, len(set), budget)
+		}
+	}
+}

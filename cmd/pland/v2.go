@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // Job kinds of the v2 API.
@@ -127,6 +128,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, aerr)
 		return
 	}
+	run = s.traceJobFunc(body.Type, r.Context(), run)
 	var (
 		snap jobs.Snapshot
 		err  error
@@ -149,7 +151,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, &apiError{Status: http.StatusInternalServerError, Code: codeInternal, Message: err.Error()})
 		return
 	}
-	s.journalJobSubmit(snap.ID, body.Type, body)
+	s.journalJobSubmit(r.Context(), snap.ID, body.Type, body)
 	writeJSON(w, http.StatusAccepted, jobView(snap))
 }
 
@@ -194,6 +196,35 @@ func (s *server) buildJobFunc(body jobSubmitRequest) (jobs.Func, *apiError) {
 		}, nil
 	default:
 		return nil, badRequestf(`job type must be "plan" or "execute", got %q`, body.Type)
+	}
+}
+
+// traceJobFunc wraps a job closure in its own trace root ("job:<kind>") that
+// joins the submitting request's trace, so an async solve shows up under the
+// same trace ID as the POST that enqueued it — with the queue wait and the
+// run as separate child spans. submitCtx is read now (the request context
+// dies when the response goes out); the returned closure runs later under
+// the manager's context.
+func (s *server) traceJobFunc(kind string, submitCtx context.Context, fn jobs.Func) jobs.Func {
+	submitted := time.Now()
+	rid := obs.RequestID(submitCtx)
+	parent, _ := obs.TraceContextFrom(submitCtx)
+	return func(ctx context.Context) (any, error) {
+		if rid != "" {
+			ctx = obs.WithRequestID(ctx, rid)
+		}
+		ctx = obs.WithTraceContext(ctx, parent)
+		ctx = obs.WithRecorder(ctx, s.recorder)
+		ctx, sp := obs.StartSpan(ctx, "job:"+kind)
+		sp.StageAt("queue_wait", submitted)()
+		done := sp.Stage("run")
+		res, err := fn(ctx)
+		done()
+		if err != nil {
+			sp.SetError(err.Error())
+		}
+		sp.End()
+		return res, err
 	}
 }
 

@@ -1,7 +1,9 @@
 // Package obs is the observability spine of the repo: a dependency-free
-// metrics registry with Prometheus text-format exposition, and lightweight
-// context-propagated spans that thread one request ID and per-stage
-// durations through a request's layers.
+// metrics registry with Prometheus text-format exposition, and a
+// dependency-free distributed tracer — context-propagated span trees that
+// thread one request ID and one W3C trace ID through a request's layers and
+// across node boundaries, with a tail-sampling flight recorder for
+// after-the-fact retrieval via GET /debug/traces.
 //
 // # Why it exists
 //
@@ -50,4 +52,49 @@
 // init; per-instance state (a planner's private Stats struct, a jobs
 // manager's census) stays per-instance, while the Default registry carries
 // the process-wide series a scraper sees.
+//
+// # Tracing
+//
+// StartSpan(ctx, name) opens a span: a child of the span already in ctx, or
+// a trace root when there is none. Roots join the remote trace installed by
+// WithTraceContext (the cmd/pland middleware parses the inbound W3C
+// traceparent header into it) or mint a fresh 128-bit trace ID. Outbound
+// calls render TraceContextFrom(ctx) back into a traceparent header, so a
+// forwarded fleet RPC is one trace spanning sender and owner. A nil *Span is
+// safe everywhere — instrumented code never checks whether tracing is on —
+// and a benchmark running on context.Background() pays only the nil checks.
+//
+// # Span naming conventions
+//
+// Root spans are named by the normalized route template ("/v1/plan",
+// "/v2/sessions/{id}") — the same vocabulary as the http metrics — or
+// "job:<kind>" for async job execution. Child spans use fixed lowercase
+// stage names from a closed set: canonicalize, cache, race, solve:<member>
+// (portfolio members are a fixed set), exec_compile, audit, replan, swap,
+// delta, rebuild, wal_append, queue_wait, run, forward, fleet_cache_get,
+// handoff. Adding a stage name is fine; generating one per request is not.
+//
+// # Attribute conventions
+//
+// Span attributes (SetAttr) are bounded per span (16) and follow the same
+// key discipline as metric labels: keys come from a fixed vocabulary (peer,
+// solver, job_id, session_id, forwarded_from, error_code...). VALUES may be
+// unbounded — a peer URL, a job ID — because attributes live on one retained
+// trace, not on a metric series. The no-unbounded-labels rule is about
+// METRIC label values: never copy a span attribute value into a metric
+// label. Trace cardinality is bounded by the flight recorder's ring; metric
+// cardinality is forever.
+//
+// # The flight recorder
+//
+// A Recorder is a fixed-memory, lock-striped ring of completed trace trees
+// with tail-based retention, decided when the root span ends: errored roots
+// and roots at or above the slow threshold are always kept; the fast-OK rest
+// are sampled deterministically from the trace ID (both nodes of a forwarded
+// request keep or drop the same trace). Retention is observable as
+// pland_trace_kept_total{reason} (error, slow, sampled) and
+// pland_trace_dropped_total{reason} (unsampled, evicted). cmd/pland wires
+// the -trace-sample, -trace-slow, and -trace-buffer flags to RecorderConfig
+// and serves the ring at GET /debug/traces (+ /debug/traces/{id},
+// ?format=chrome for Perfetto).
 package obs

@@ -57,8 +57,109 @@ func TestSpanStages(t *testing.T) {
 		t.Fatal("elapsed not positive")
 	}
 	attrs := sp.LogAttrs()
-	if len(attrs) != 4 { // request_id, elapsed, 2 stages
-		t.Fatalf("LogAttrs = %v, want 4 attrs", attrs)
+	if len(attrs) != 5 { // request_id, trace_id, elapsed, 2 stages
+		t.Fatalf("LogAttrs = %v, want 5 attrs", attrs)
+	}
+	if sp.TraceID() == "" || sp.SpanID() == "" {
+		t.Fatal("root span missing trace/span IDs")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "/v1/plan")
+	cctx, child := StartSpan(ctx, "solve")
+	if SpanFrom(cctx) != child {
+		t.Fatal("child span not attached to ctx")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace ID %q != root %q", child.TraceID(), root.TraceID())
+	}
+	if child.SpanID() == root.SpanID() {
+		t.Fatal("child reused root span ID")
+	}
+	child.SetAttr("solver", "greedy")
+	child.SetError("boom")
+	child.End()
+	root.End()
+	if !root.Failed() {
+		t.Log("root not failed — error status is per-span, not inherited (by design)")
+	}
+	snap := root.snapshot(time.Now())
+	if len(snap.Children) != 1 {
+		t.Fatalf("snapshot children = %d, want 1", len(snap.Children))
+	}
+	cs := snap.Children[0]
+	if cs.Name != "solve" || !cs.Failed || cs.Error != "boom" {
+		t.Fatalf("child snapshot wrong: %+v", cs)
+	}
+	if cs.ParentID != root.SpanID() {
+		t.Fatalf("child parent %q, want root span %q", cs.ParentID, root.SpanID())
+	}
+	if len(cs.Attrs) != 1 || cs.Attrs[0].Key != "solver" {
+		t.Fatalf("child attrs wrong: %+v", cs.Attrs)
+	}
+}
+
+func TestSpanBounds(t *testing.T) {
+	_, sp := StartSpan(context.Background(), "root")
+	for i := 0; i < maxSpanAttrs+5; i++ {
+		sp.SetAttr("k", "v")
+	}
+	for i := 0; i < maxSpanChildren+5; i++ {
+		sp.Stage("s")()
+	}
+	sp.End()
+	snap := sp.snapshot(time.Now())
+	if len(snap.Attrs) != maxSpanAttrs {
+		t.Fatalf("attrs = %d, want cap %d", len(snap.Attrs), maxSpanAttrs)
+	}
+	if len(snap.Children) != maxSpanChildren {
+		t.Fatalf("children = %d, want cap %d", len(snap.Children), maxSpanChildren)
+	}
+	if snap.DroppedChildren != 5 {
+		t.Fatalf("dropped children = %d, want 5", snap.DroppedChildren)
+	}
+}
+
+func TestSpanJoinsRemoteTrace(t *testing.T) {
+	tc := TraceContext{
+		TraceID: "0123456789abcdef0123456789abcdef",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+	}
+	ctx := WithTraceContext(context.Background(), tc)
+	_, sp := StartSpan(ctx, "/v1/plan")
+	if sp.TraceID() != tc.TraceID {
+		t.Fatalf("root did not join remote trace: %q", sp.TraceID())
+	}
+	sp.End()
+	snap := sp.snapshot(time.Now())
+	if snap.ParentID != tc.SpanID || !snap.Remote {
+		t.Fatalf("remote parent not recorded: %+v", snap)
+	}
+}
+
+func BenchmarkSpanTree(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "/v1/plan")
+		sp.Stage("canonicalize")()
+		sp.Stage("cache")()
+		done := sp.Stage("race")
+		sp.SetAttr("solver", "greedy")
+		done()
+		sp.End()
+	}
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Stage("canonicalize")()
+		sp.SetAttr("k", "v")
+		sp.End()
 	}
 }
 

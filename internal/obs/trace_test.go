@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+	}
+	h := tc.Traceparent()
+	if h != "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01" {
+		t.Fatalf("Traceparent = %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok || got != tc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+
+	tc.Sampled = false
+	got, ok = ParseTraceparent(tc.Traceparent())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v ok=%v", got, ok)
+	}
+
+	// Freshly minted IDs must round-trip too.
+	fresh := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Sampled: true}
+	got, ok = ParseTraceparent(fresh.Traceparent())
+	if !ok || got != fresh {
+		t.Fatalf("fresh round trip: got %+v ok=%v, want %+v", got, ok, fresh)
+	}
+}
+
+func TestParseTraceparentAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want TraceContext
+	}{
+		{
+			"version 00 sampled",
+			"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+			TraceContext{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true},
+		},
+		{
+			"version 00 unsampled",
+			"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00",
+			TraceContext{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", false},
+		},
+		{
+			"future version reads 00 layout",
+			"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+			TraceContext{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true},
+		},
+		{
+			"future version with suffix",
+			"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra-stuff",
+			TraceContext{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true},
+		},
+		{
+			"flags high bits ignored, low bit read",
+			"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-09",
+			TraceContext{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7", true},
+		},
+	}
+	for _, c := range cases {
+		got, ok := ParseTraceparent(c.in)
+		if !ok || got != c.want {
+			t.Errorf("%s: ParseTraceparent(%q) = %+v, %v; want %+v, true", c.name, c.in, got, ok, c.want)
+		}
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"short", "00-abc"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"uppercase version", "0A-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"non-hex version", "0g-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01"},
+		{"short trace id", "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7aa-01"},
+		{"missing dashes", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01"},
+		{"non-hex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+		{"version 00 with suffix", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"},
+		{"version 00 trailing junk", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x"},
+	}
+	for _, c := range cases {
+		if got, ok := ParseTraceparent(c.in); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted as %+v", c.name, c.in, got)
+		}
+	}
+}
+
+func TestTraceContextValidity(t *testing.T) {
+	if (TraceContext{}).Valid() {
+		t.Fatal("zero TraceContext claimed valid")
+	}
+	if got := (TraceContext{}).Traceparent(); got != "" {
+		t.Fatalf("invalid Traceparent = %q, want \"\"", got)
+	}
+	ctx := WithTraceContext(context.Background(), TraceContext{TraceID: "bad", SpanID: "bad"})
+	if _, ok := TraceContextFrom(ctx); ok {
+		t.Fatal("invalid context was installed")
+	}
+}
+
+func TestTraceContextFromPrefersActiveSpan(t *testing.T) {
+	remote := TraceContext{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		SpanID:  "00f067aa0ba902b7",
+		Sampled: true,
+	}
+	ctx := WithTraceContext(context.Background(), remote)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got != remote {
+		t.Fatalf("remote parent not returned: %+v %v", got, ok)
+	}
+	ctx, sp := StartSpan(ctx, "/v1/plan")
+	got, ok = TraceContextFrom(ctx)
+	if !ok || got.TraceID != remote.TraceID || got.SpanID != sp.SpanID() {
+		t.Fatalf("active span not preferred: %+v", got)
+	}
+}
+
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-00f067aa0ba902b7-01")
+	f.Add("00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01")
+	f.Add("00-4bf92f3577b34da6-00f067aa0ba902b7-01")
+	f.Add("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-suffix")
+	f.Add("")
+	f.Add(strings.Repeat("-", 60))
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, ok := ParseTraceparent(h)
+		if !ok {
+			if tc != (TraceContext{}) {
+				t.Fatalf("rejected input leaked data: %+v", tc)
+			}
+			return
+		}
+		// Every accepted parse yields a valid context whose re-rendering
+		// parses back to itself.
+		if !tc.Valid() {
+			t.Fatalf("accepted but invalid: %+v from %q", tc, h)
+		}
+		rt, ok2 := ParseTraceparent(tc.Traceparent())
+		if !ok2 || rt != tc {
+			t.Fatalf("re-render did not round trip: %+v vs %+v", rt, tc)
+		}
+	})
+}

@@ -389,9 +389,15 @@ func (p *Planner) solvePortfolio(ctx context.Context, cn *canonical, budget Budg
 		err    error
 	}
 	results := make(chan memberResult, len(cands))
+	// Each arm is a stage of the caller's span ("solve:<member>"), so a trace
+	// shows which portfolio members ran and how long each took. The cached
+	// flight path solves under context.Background and records nothing.
+	sp := obs.SpanFrom(ctx)
 	for i, c := range cands {
 		go func(i int, c candidate) {
+			done := sp.Stage("solve:" + c.name)
 			ms, err := c.run()
+			done()
 			results <- memberResult{idx: i, schema: ms, err: err}
 		}(i, c)
 	}

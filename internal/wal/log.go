@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Policy is the fsync discipline of Append.
@@ -197,6 +200,17 @@ func (l *Log) Append(rec *Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appendLocked(rec)
+}
+
+// AppendCtx is Append with the caller's trace attached: the write (and,
+// under SyncAlways, its inline fsync) shows up as a "wal_append" child span
+// of whatever request caused it. Background appends without a request keep
+// using Append.
+func (l *Log) AppendCtx(ctx context.Context, rec *Record) error {
+	done := obs.SpanFrom(ctx).Stage("wal_append")
+	err := l.Append(rec)
+	done()
+	return err
 }
 
 func (l *Log) appendLocked(rec *Record) error {

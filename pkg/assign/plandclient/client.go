@@ -20,6 +20,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/assign"
 )
 
@@ -79,6 +80,10 @@ type APIError struct {
 	// error arrived as an HTTP response. Quote it when reporting a failure:
 	// the server's request log carries the same ID.
 	RequestID string
+	// TraceID is the trace ID from the response's traceparent header, when
+	// the error arrived as an HTTP response from a tracing-enabled server.
+	// Feed it to GET /debug/traces/{id} to pull the request's span tree.
+	TraceID string
 	// Attempts is how many round trips the client made before this error
 	// surfaced: 1 for a plain failure, more when the retry layer (idempotent
 	// GETs on transport errors, refused connections on any method) burned
@@ -98,6 +103,9 @@ func (e *APIError) Error() string {
 	}
 	if e.RequestID != "" {
 		msg += " [request " + e.RequestID + "]"
+	}
+	if e.TraceID != "" {
+		msg += " [trace " + e.TraceID + "]"
 	}
 	return msg
 }
@@ -160,8 +168,11 @@ type PlanResult struct {
 	FleetCacheHit bool  `json:"fleet_cache_hit,omitempty"`
 	ElapsedMicros int64 `json:"elapsed_us"`
 	// RequestID is the server's X-Request-ID for the call that produced this
-	// result; it matches the server's request log line.
+	// result; it matches the server's request log line. TraceID is the trace
+	// from the response's traceparent header (empty on older servers); fetch
+	// its span tree via GET /debug/traces/{id}.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // ExecuteRequest is the body of POST /v1/execute and of "execute" jobs.
@@ -195,8 +206,11 @@ type ExecuteResult struct {
 	Audited        bool                  `json:"audited"`
 	ElapsedMicros  int64                 `json:"elapsed_us"`
 	// RequestID is the server's X-Request-ID for the call that produced this
-	// result; it matches the server's request log line.
+	// result; it matches the server's request log line. TraceID is the trace
+	// from the response's traceparent header (empty on older servers); fetch
+	// its span tree via GET /debug/traces/{id}.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // Job states of the v2 API.
@@ -228,8 +242,10 @@ type Job struct {
 		Message string `json:"message"`
 	} `json:"error,omitempty"`
 	// RequestID is the server's X-Request-ID of the call this view came from
-	// (submit or poll), not a property of the job itself.
+	// (submit or poll), not a property of the job itself. TraceID is that
+	// call's trace from the response's traceparent header.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // Terminal reports whether the job reached a final state.
@@ -255,7 +271,7 @@ func (j *Job) PlanResult() (*PlanResult, error) {
 	if err := json.Unmarshal(j.Result, &out); err != nil {
 		return nil, fmt.Errorf("plandclient: decoding plan result: %w", err)
 	}
-	out.RequestID = j.RequestID
+	out.RequestID, out.TraceID = j.RequestID, j.TraceID
 	return &out, nil
 }
 
@@ -268,29 +284,29 @@ func (j *Job) ExecuteResult() (*ExecuteResult, error) {
 	if err := json.Unmarshal(j.Result, &out); err != nil {
 		return nil, fmt.Errorf("plandclient: decoding execute result: %w", err)
 	}
-	out.RequestID = j.RequestID
+	out.RequestID, out.TraceID = j.RequestID, j.TraceID
 	return &out, nil
 }
 
 // Plan solves synchronously via POST /v1/plan.
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResult, error) {
 	var out PlanResult
-	rid, err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out)
+	meta, err := c.do(ctx, http.MethodPost, "/v1/plan", req, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
 // Execute plans and runs synchronously via POST /v1/execute.
 func (c *Client) Execute(ctx context.Context, req ExecuteRequest) (*ExecuteResult, error) {
 	var out ExecuteResult
-	rid, err := c.do(ctx, http.MethodPost, "/v1/execute", req, &out)
+	meta, err := c.do(ctx, http.MethodPost, "/v1/execute", req, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
@@ -305,33 +321,33 @@ type jobSubmit struct {
 // state. A full queue surfaces as an *APIError with CodeQueueFull.
 func (c *Client) SubmitPlan(ctx context.Context, req PlanRequest) (*Job, error) {
 	var out Job
-	rid, err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "plan", Plan: &req}, &out)
+	meta, err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "plan", Plan: &req}, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
 // SubmitExecute enqueues an asynchronous "execute" job.
 func (c *Client) SubmitExecute(ctx context.Context, req ExecuteRequest) (*Job, error) {
 	var out Job
-	rid, err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "execute", Execute: &req}, &out)
+	meta, err := c.do(ctx, http.MethodPost, "/v2/jobs", jobSubmit{Type: "execute", Execute: &req}, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
 // GetJob polls one job's state via GET /v2/jobs/{id}.
 func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
 	var out Job
-	rid, err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out)
+	meta, err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id, nil, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
@@ -340,11 +356,11 @@ func (c *Client) GetJob(ctx context.Context, id string) (*Job, error) {
 // cancellation — follow with WaitJob to see the final state.
 func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
 	var out Job
-	rid, err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+id, nil, &out)
+	meta, err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+id, nil, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
@@ -478,8 +494,10 @@ type Session struct {
 	// the cluster e2e asserts a handed-off session survived intact.
 	Node        string `json:"node,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
-	// RequestID is the server's X-Request-ID of the call this view came from.
+	// RequestID and TraceID identify the call this view came from: the
+	// server's X-Request-ID and the traceparent trace ID.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // SessionDelta is one delta of an UpdateSession batch; build with AddDelta,
@@ -530,8 +548,10 @@ type SessionPatchResult struct {
 	// RebuildJobID is set when this batch pushed drift past the threshold
 	// and scheduled a background rebuild.
 	RebuildJobID string `json:"rebuild_job_id,omitempty"`
-	// RequestID is the server's X-Request-ID of the PATCH call.
+	// RequestID and TraceID identify the PATCH call: the server's
+	// X-Request-ID and the traceparent trace ID.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // SessionList is the answer of GET /v2/sessions.
@@ -539,41 +559,43 @@ type SessionList struct {
 	Sessions []Session `json:"sessions"`
 	Count    int       `json:"count"`
 	Limit    int       `json:"limit"`
-	// RequestID is the server's X-Request-ID of the list call.
+	// RequestID and TraceID identify the list call: the server's
+	// X-Request-ID and the traceparent trace ID.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // CreateSession opens a live session via POST /v2/sessions. A server at its
 // session limit surfaces as an *APIError with CodeSessionLimit.
 func (c *Client) CreateSession(ctx context.Context, req SessionCreateRequest) (*Session, error) {
 	var out Session
-	rid, err := c.do(ctx, http.MethodPost, "/v2/sessions", req, &out)
+	meta, err := c.do(ctx, http.MethodPost, "/v2/sessions", req, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
 // ListSessions lists the live sessions via GET /v2/sessions.
 func (c *Client) ListSessions(ctx context.Context) (*SessionList, error) {
 	var out SessionList
-	rid, err := c.do(ctx, http.MethodGet, "/v2/sessions", nil, &out)
+	meta, err := c.do(ctx, http.MethodGet, "/v2/sessions", nil, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
 // GetSession fetches a session's current schema and drift stats.
 func (c *Client) GetSession(ctx context.Context, id string) (*Session, error) {
 	var out Session
-	rid, err := c.do(ctx, http.MethodGet, "/v2/sessions/"+id, nil, &out)
+	meta, err := c.do(ctx, http.MethodGet, "/v2/sessions/"+id, nil, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
@@ -585,22 +607,22 @@ func (c *Client) UpdateSession(ctx context.Context, id string, deltas ...Session
 		Deltas []SessionDelta `json:"deltas"`
 	}{Deltas: deltas}
 	var out SessionPatchResult
-	rid, err := c.do(ctx, http.MethodPatch, "/v2/sessions/"+id, body, &out)
+	meta, err := c.do(ctx, http.MethodPatch, "/v2/sessions/"+id, body, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
 // DeleteSession closes a session via DELETE /v2/sessions/{id}.
 func (c *Client) DeleteSession(ctx context.Context, id string) (*Session, error) {
 	var out Session
-	rid, err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+id, nil, &out)
+	meta, err := c.do(ctx, http.MethodDelete, "/v2/sessions/"+id, nil, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 
@@ -632,26 +654,33 @@ func retryableTransport(method string, err error) bool {
 	return method == http.MethodGet || errors.Is(err, syscall.ECONNREFUSED)
 }
 
+// callMeta is the correlation identity of one completed call: the server's
+// X-Request-ID and the trace ID echoed in its traceparent response header.
+type callMeta struct {
+	requestID string
+	traceID   string
+}
+
 // do performs a round trip: JSON request body (when non-nil), JSON response
 // into out on 2xx (out may be nil to discard), and the server's error
 // envelope as *APIError otherwise. Transport failures are retried per
 // retryableTransport with capped exponential backoff and jitter; the attempt
-// count rides on the returned *APIError. The first return is the response's
-// X-Request-ID header.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) (string, error) {
+// count rides on the returned *APIError. The first return carries the
+// response's correlation identity.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (callMeta, error) {
 	var buf []byte
 	if body != nil {
 		var err error
 		buf, err = json.Marshal(body)
 		if err != nil {
-			return "", fmt.Errorf("plandclient: encoding request: %w", err)
+			return callMeta{}, fmt.Errorf("plandclient: encoding request: %w", err)
 		}
 	}
 	bo := newBackoff(retryBase, retryCap)
 	for attempt := 1; ; attempt++ {
-		rid, err := c.doOnce(ctx, method, path, buf, out)
+		meta, err := c.doOnce(ctx, method, path, buf, out)
 		if err == nil {
-			return rid, nil
+			return meta, nil
 		}
 		var terr *transportError
 		if !errors.As(err, &terr) {
@@ -661,56 +690,76 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (st
 			if errors.As(err, &ae) {
 				ae.Attempts = attempt
 			}
-			return rid, err
+			return meta, err
 		}
 		if !retryableTransport(method, terr.err) || attempt >= retryAttempts || ctx.Err() != nil {
-			return rid, &APIError{Code: CodeTransport, Message: "pland unreachable: " + terr.Error(), Attempts: attempt}
+			return meta, &APIError{Code: CodeTransport, Message: "pland unreachable: " + terr.Error(), Attempts: attempt}
 		}
 		if serr := c.sleep(ctx, bo.next()); serr != nil {
-			return rid, &APIError{Code: CodeTransport, Message: "pland unreachable: " + terr.Error(), Attempts: attempt}
+			return meta, &APIError{Code: CodeTransport, Message: "pland unreachable: " + terr.Error(), Attempts: attempt}
 		}
 	}
 }
 
-// doOnce is one round trip of do.
-func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (string, error) {
+// doOnce is one round trip of do. It propagates the caller's correlation
+// identity: a request ID already in ctx rides as X-Request-ID, and the ctx's
+// trace context (an active span inside a traced server, or a remote parent)
+// rides as traceparent so the server's root span joins the caller's trace.
+// Without one, a fresh sampled trace context is minted per round trip — the
+// server then logs and records under an ID the caller gets back.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) (callMeta, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
 	if err != nil {
-		return "", fmt.Errorf("plandclient: building request: %w", err)
+		return callMeta{}, fmt.Errorf("plandclient: building request: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if rid := obs.RequestID(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
+	tc, ok := obs.TraceContextFrom(ctx)
+	if !ok {
+		tc = obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	}
+	req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return "", &transportError{method: method, path: path, err: err}
+		return callMeta{}, &transportError{method: method, path: path, err: err}
 	}
 	defer resp.Body.Close()
-	rid := resp.Header.Get("X-Request-ID")
+	meta := callMeta{requestID: resp.Header.Get("X-Request-ID")}
+	if rtc, ok := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); ok {
+		meta.traceID = rtc.TraceID
+	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return rid, decodeAPIError(resp)
+		return meta, decodeAPIError(resp)
 	}
 	if out == nil {
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
-		return rid, nil
+		return meta, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return rid, fmt.Errorf("plandclient: decoding %s %s response: %w", method, path, err)
+		return meta, fmt.Errorf("plandclient: decoding %s %s response: %w", method, path, err)
 	}
-	return rid, nil
+	return meta, nil
 }
 
 // decodeAPIError parses the unified error envelope; a non-envelope body
 // still yields a usable *APIError with the raw text.
 func decodeAPIError(resp *http.Response) error {
 	rid := resp.Header.Get("X-Request-ID")
+	var tid string
+	if tc, ok := obs.ParseTraceparent(resp.Header.Get(obs.TraceparentHeader)); ok {
+		tid = tc.TraceID
+	}
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: err.Error(), RequestID: rid}
+		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal, Message: err.Error(), RequestID: rid, TraceID: tid}
 	}
 	var env struct {
 		Error struct {
@@ -720,10 +769,10 @@ func decodeAPIError(resp *http.Response) error {
 	}
 	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
 		return &APIError{StatusCode: resp.StatusCode, Code: CodeInternal,
-			Message: strings.TrimSpace(string(raw)), RequestID: rid}
+			Message: strings.TrimSpace(string(raw)), RequestID: rid, TraceID: tid}
 	}
 	return &APIError{StatusCode: resp.StatusCode, Code: env.Error.Code,
-		Message: env.Error.Message, RequestID: rid}
+		Message: env.Error.Message, RequestID: rid, TraceID: tid}
 }
 
 // IsCode reports whether err is an *APIError with the given code.

@@ -52,8 +52,10 @@ type HandoffResult struct {
 	ID          string `json:"id"`
 	Fingerprint string `json:"fingerprint"`
 	Inputs      int    `json:"inputs"`
-	// RequestID is the server's X-Request-ID of the handoff call.
+	// RequestID and TraceID identify the handoff call: the server's
+	// X-Request-ID and the traceparent trace ID.
 	RequestID string `json:"-"`
+	TraceID   string `json:"-"`
 }
 
 // Handoff ships one session to this client's node via POST /internal/handoff.
@@ -61,11 +63,11 @@ type HandoffResult struct {
 // (journaling it into its own WAL when durable), and serves it from then on.
 func (c *Client) Handoff(ctx context.Context, req HandoffRequest) (*HandoffResult, error) {
 	var out HandoffResult
-	rid, err := c.do(ctx, http.MethodPost, "/internal/handoff", req, &out)
+	meta, err := c.do(ctx, http.MethodPost, "/internal/handoff", req, &out)
 	if err != nil {
 		return nil, err
 	}
-	out.RequestID = rid
+	out.RequestID, out.TraceID = meta.requestID, meta.traceID
 	return &out, nil
 }
 

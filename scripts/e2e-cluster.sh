@@ -41,6 +41,7 @@ for i in 0 1 2; do
   "$WORK/pland" -addr "127.0.0.1:${PORTS[$i]}" -log-format json \
     -data-dir "$WORK/data$i" -self "${URLS[$i]}" -peers "$PEERS" \
     -health-interval 200ms -health-fail 2 -drain-grace 600ms -drain 20s \
+    -trace-sample 1 -trace-buffer 4096 \
     >>"$WORK/node$i.log" 2>&1 &
   PIDS+=($!)
 done
@@ -82,6 +83,41 @@ for _ in $(seq 1 60); do
 done
 [ "${#PROBE_IDS[@]}" -ge 2 ] ||
   fail "could not place 2 probe sessions on the victim in 60 draws"
+
+# One more forwarded create, this time capturing the response headers: the
+# traceparent names a single trace whose span records must exist on BOTH the
+# entry node and the owner, and GET /debug/traces/{id} on the entry node must
+# merge the two halves. This has to run before the victim dies — its half of
+# the trace lives in its in-memory flight recorder.
+TID=""
+for _ in $(seq 1 60); do
+  resp=$(curl -fsS -D "$WORK/probe.headers" "${URLS[0]}/v2/sessions" \
+    -d '{"capacity":24,"sizes":[5,3,7,2,6]}') || fail "traced probe create failed"
+  node=$(sed -n 's/.*"node":"\([^"]*\)".*/\1/p' <<<"$resp")
+  if [ "$node" = "$VICTIM" ]; then
+    TID=$(tr -d '\r' <"$WORK/probe.headers" |
+      awk -F': ' 'tolower($1)=="traceparent"{print $2}' | awk -F- '{print $2}')
+    break
+  fi
+done
+[ -n "$TID" ] || fail "no forwarded create produced a traceparent in 60 draws"
+# The entry node's record commits as its handler returns, which can race the
+# client seeing the response — retry the fetch briefly.
+trace_ok=""
+for _ in $(seq 1 20); do
+  if curl -fsS "${URLS[0]}/debug/traces/$TID" >"$WORK/trace.json" 2>/dev/null &&
+     grep -q '"name":"forward"' "$WORK/trace.json" &&
+     grep -q "\"node\":\"${URLS[0]}\"" "$WORK/trace.json" &&
+     grep -q "\"node\":\"$VICTIM\"" "$WORK/trace.json"; then
+    trace_ok=1
+    break
+  fi
+  sleep 0.1
+done
+[ -n "$trace_ok" ] ||
+  fail "trace $TID never merged forward + both-node records on node0: $(cat "$WORK/trace.json" 2>/dev/null)"
+grep -q "$TID" "$WORK/node0.log" || fail "trace $TID absent from node0's log"
+grep -q "$TID" "$WORK/node2.log" || fail "trace $TID absent from node2's log"
 
 # Drive mixed traffic through all three nodes while the victim goes away.
 # The gates encode the acceptance bar: bounded p99 across the failover, a

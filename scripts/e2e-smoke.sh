@@ -27,7 +27,9 @@ fail() {
 
 go build -o "$BIN" ./cmd/pland
 
-"$BIN" -addr "$ADDR" -log-format json >"$LOG" 2>&1 &
+# -trace-sample 1 keeps every trace so the flight-recorder assertions below
+# are deterministic.
+"$BIN" -addr "$ADDR" -log-format json -trace-sample 1 >"$LOG" 2>&1 &
 PLAND_PID=$!
 
 for i in $(seq 1 50); do
@@ -36,11 +38,15 @@ for i in $(seq 1 50); do
   sleep 0.1
 done
 
-# Synchronous plan; the response must carry a request ID and a schema.
-rid=$(curl -fsS -D - -o "$WORK/plan.json" "$BASE/v1/plan" \
-  -d '{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}' |
-  tr -d '\r' | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')
+# Synchronous plan; the response must carry a request ID, a traceparent, and
+# a schema.
+curl -fsS -D "$WORK/plan.headers" -o "$WORK/plan.json" "$BASE/v1/plan" \
+  -d '{"problem":"A2A","capacity":10,"sizes":[3,3,2,2,4,1]}'
+rid=$(tr -d '\r' <"$WORK/plan.headers" | awk -F': ' 'tolower($1)=="x-request-id"{print $2}')
 [ -n "$rid" ] || fail "no X-Request-ID on /v1/plan"
+# traceparent is 00-<trace-id>-<span-id>-<flags>; field 2 is the trace ID.
+tid=$(tr -d '\r' <"$WORK/plan.headers" | awk -F': ' 'tolower($1)=="traceparent"{print $2}' | awk -F- '{print $2}')
+[ -n "$tid" ] || fail "no traceparent on /v1/plan"
 grep -q '"schema"' "$WORK/plan.json" || fail "plan response has no schema"
 
 # Plan-and-run: the execution must come back audited.
@@ -92,11 +98,24 @@ assert_nonzero 'pland_exec_pairs_total'
 assert_nonzero 'pland_stream_deltas_total'
 grep -q '^pland_stream_sessions ' "$WORK/metrics.txt" || fail "no pland_stream_sessions gauge"
 
+assert_nonzero 'pland_trace_kept_total'
+
 # pprof sits on the main mux when no -debug-addr is given.
 curl -fsS "$BASE/debug/pprof/cmdline" >/dev/null || fail "pprof not mounted"
 
 # The structured request log carries the plan call's request ID.
 grep -q "$rid" "$LOG" || fail "request ID $rid absent from the request log"
+
+# Tracing: the response header, the flight recorder, and the request log must
+# all agree on the plan call's trace ID.
+curl -fsS "$BASE/debug/traces/$tid" >"$WORK/trace.json" || fail "GET /debug/traces/$tid failed"
+grep -q "$tid" "$WORK/trace.json" || fail "retained trace does not carry its own ID"
+grep -q '"name":"canonicalize"' "$WORK/trace.json" || fail "plan trace has no canonicalize stage span"
+grep -q "$tid" "$LOG" || fail "trace ID $tid absent from the request log"
+curl -fsS "$BASE/debug/traces?route=/v1/plan" | grep -q "$tid" ||
+  fail "/debug/traces?route=/v1/plan does not list trace $tid"
+curl -fsS "$BASE/debug/traces/$tid?format=chrome" | grep -q '"traceEvents"' ||
+  fail "chrome export has no traceEvents"
 
 kill -TERM "$PLAND_PID"
 wait "$PLAND_PID" || fail "pland did not exit cleanly"
