@@ -4,7 +4,7 @@ BASE ?= origin/main
 THRESHOLD ?= 15
 # The benchmarks the regression gate watches. Keep in sync with the
 # bench-regression job in .github/workflows/ci.yml.
-BENCH_MATCH := ^Benchmark(PlannerCold|PlannerCached|ExecBatch|SessionDelta|CoverSet|Auditor)
+BENCH_MATCH := ^Benchmark(PlannerCold|PlannerCached|ExecBatch|ExecStream|SessionDelta|CoverSet|Auditor)
 
 .PHONY: test bench bench-compare baselines
 
@@ -14,7 +14,7 @@ test: ## tier-1: build everything, run every test
 bench: ## one pass over the regression-gated benchmark suite (stdout)
 	@$(GO) test -run '^$$' -bench 'BenchmarkCoverSet' -count=$(BENCH_COUNT) -benchtime=0.2s ./internal/core \
 	  && $(GO) test -run '^$$' -bench 'BenchmarkAuditor' -count=$(BENCH_COUNT) -benchtime=0.2s ./internal/exec \
-	  && $(GO) test -run '^$$' -bench 'BenchmarkPlannerCold$$|BenchmarkPlannerCached$$|BenchmarkExecBatch$$' -count=$(BENCH_COUNT) -benchtime=0.3s . \
+	  && $(GO) test -run '^$$' -bench 'BenchmarkPlannerCold$$|BenchmarkPlannerCached$$|BenchmarkExecBatch$$|BenchmarkExecStream$$' -count=$(BENCH_COUNT) -benchtime=0.3s . \
 	  && $(GO) test -run '^$$' -bench 'BenchmarkSessionDelta' -count=$(BENCH_COUNT) -benchtime=0.3s ./internal/stream
 
 bench-compare: ## bench BASE (temp worktree) and HEAD, fail on significant >THRESHOLD% slowdown
@@ -34,3 +34,6 @@ baselines: ## regenerate the committed BENCH_*.json from a fresh suite run
 	$(GO) run ./cmd/benchdiff -mode=baseline -in /tmp/repro-bench-baseline.txt -out BENCH_stream.json \
 	  -match '^BenchmarkSessionDelta' \
 	  -note "m=1k churn (remove oldest, add replacement) at q=1024, uniform sizes [1,64]: incremental repair vs cheapest full re-solve per delta; regenerate with 'make baselines'"
+	$(GO) run ./cmd/benchdiff -mode=baseline -in /tmp/repro-bench-baseline.txt -out BENCH_exec.json \
+	  -match '^BenchmarkExecStream' \
+	  -note "streaming pipeline end to end: 1500-doc similarity join (1.12M pairs) fed through pkg/assign Source/Each, planned from cache, audit on, no spill; regenerate with 'make baselines'"

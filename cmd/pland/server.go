@@ -460,6 +460,11 @@ type executeRequest struct {
 	NoCache   bool `json:"no_cache,omitempty"`
 	// ReturnPairs includes the processed pair IDs in the response (capped).
 	ReturnPairs bool `json:"return_pairs,omitempty"`
+	// MemoryBudget, when positive, bounds the execution's in-memory shuffle
+	// bytes; over-budget reduce partitions spill sorted run files to disk
+	// and merge them back at reduce time. Output is unchanged; the response
+	// reports the realized spill volume.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
 }
 
 // executeResponse is the JSON answer of POST /v1/execute and the result of
@@ -474,8 +479,13 @@ type executeResponse struct {
 	ShuffleRecords int64                 `json:"shuffle_records"`
 	ShuffleBytes   int64                 `json:"shuffle_bytes"`
 	MaxReducerLoad int64                 `json:"max_reducer_load"`
-	Audited        bool                  `json:"audited"`
-	ElapsedMicros  int64                 `json:"elapsed_us"`
+	// Spill figures are zero unless the request set a memory_budget the run
+	// exceeded.
+	SpillRuns       int64 `json:"spill_runs,omitempty"`
+	SpillPartitions int64 `json:"spill_partitions,omitempty"`
+	SpillBytes      int64 `json:"spill_bytes,omitempty"`
+	Audited         bool  `json:"audited"`
+	ElapsedMicros   int64 `json:"elapsed_us"`
 }
 
 // maxReturnedPairs caps the pair list a single response may carry.
@@ -560,6 +570,9 @@ func (s *server) executeOptions(body executeRequest) ([]assign.Option, *apiError
 	if body.NoCache {
 		opts = append(opts, assign.NoCache())
 	}
+	if body.MemoryBudget > 0 {
+		opts = append(opts, assign.MemoryBudget(body.MemoryBudget))
+	}
 	return opts, nil
 }
 
@@ -597,16 +610,19 @@ func (s *server) runExecute(ctx context.Context, body executeRequest, maxBudget 
 		}
 	}
 	resp := &executeResponse{
-		Schema:         ex.Plan.Schema,
-		Reducers:       ex.Plan.Schema.NumReducers(),
-		Winner:         ex.Plan.Winner,
-		CacheHit:       ex.Plan.CacheHit,
-		Pairs:          ex.PairsProcessed,
-		ShuffleRecords: ex.ShuffleRecords,
-		ShuffleBytes:   ex.ShuffleBytes,
-		MaxReducerLoad: ex.MaxReducerLoad,
-		Audited:        ex.Audited,
-		ElapsedMicros:  time.Since(start).Microseconds(),
+		Schema:          ex.Plan.Schema,
+		Reducers:        ex.Plan.Schema.NumReducers(),
+		Winner:          ex.Plan.Winner,
+		CacheHit:        ex.Plan.CacheHit,
+		Pairs:           ex.PairsProcessed,
+		ShuffleRecords:  ex.ShuffleRecords,
+		ShuffleBytes:    ex.ShuffleBytes,
+		MaxReducerLoad:  ex.MaxReducerLoad,
+		SpillRuns:       ex.SpillRuns,
+		SpillPartitions: ex.SpillPartitions,
+		SpillBytes:      ex.SpillBytes,
+		Audited:         ex.Audited,
+		ElapsedMicros:   time.Since(start).Microseconds(),
 	}
 	if returnPairs {
 		for i, rec := range ex.Output {

@@ -43,6 +43,8 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 42, "workload seed")
 		verify    = fs.Bool("verify", true, "check the result against the nested-loop reference")
 		showPairs = fs.Int("show", 5, "print up to this many similar pairs")
+		memBudget = fs.Int64("membudget", 0, "in-memory shuffle budget in bytes; over-budget partitions spill to disk (0 = unbounded)")
+		spillDir  = fs.String("spilldir", "", "directory for spill run files (default: OS temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,9 +70,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := simjoin.Config{
-		Capacity:   assign.Size(*q),
-		Threshold:  *threshold,
-		Similarity: sim,
+		Capacity:     assign.Size(*q),
+		Threshold:    *threshold,
+		Similarity:   sim,
+		MemoryBudget: *memBudget,
+		SpillDir:     *spillDir,
 	}
 	res, err := simjoin.Run(docs, cfg)
 	if err != nil {

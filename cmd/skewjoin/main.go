@@ -32,14 +32,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("skewjoin", flag.ContinueOnError)
 	var (
-		tuples   = fs.Int("tuples", 10000, "tuples per relation")
-		keys     = fs.Int("keys", 100, "distinct join keys")
-		skew     = fs.Float64("skew", 1.3, "Zipf exponent of the join-key distribution (0 = uniform)")
-		payload  = fs.Int("payload", 10, "payload bytes per tuple")
-		q        = fs.Int64("q", 16000, "reducer capacity in bytes of tuple data")
-		block    = fs.Int64("block", 0, "block size for heavy hitters (0 = q/4)")
-		seed     = fs.Int64("seed", 42, "workload seed")
-		baseline = fs.Bool("baseline", true, "also run the plain hash-join baseline for comparison")
+		tuples    = fs.Int("tuples", 10000, "tuples per relation")
+		keys      = fs.Int("keys", 100, "distinct join keys")
+		skew      = fs.Float64("skew", 1.3, "Zipf exponent of the join-key distribution (0 = uniform)")
+		payload   = fs.Int("payload", 10, "payload bytes per tuple")
+		q         = fs.Int64("q", 16000, "reducer capacity in bytes of tuple data")
+		block     = fs.Int64("block", 0, "block size for heavy hitters (0 = q/4)")
+		seed      = fs.Int64("seed", 42, "workload seed")
+		baseline  = fs.Bool("baseline", true, "also run the plain hash-join baseline for comparison")
+		memBudget = fs.Int64("membudget", 0, "in-memory shuffle budget in bytes; over-budget partitions spill to disk (0 = unbounded)")
+		spillDir  = fs.String("spilldir", "", "directory for spill run files (default: OS temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,9 +57,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := skewjoin.Config{
-		Capacity:  assign.Size(*q),
-		BlockSize: assign.Size(*block),
-		CountOnly: true,
+		Capacity:     assign.Size(*q),
+		BlockSize:    assign.Size(*block),
+		CountOnly:    true,
+		MemoryBudget: *memBudget,
+		SpillDir:     *spillDir,
 	}
 	res, err := skewjoin.Run(x, y, cfg)
 	if err != nil {

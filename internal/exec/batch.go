@@ -23,8 +23,9 @@ type BatchOptions struct {
 // requests: results[i] belongs to reqs[i] and is nil when that job failed.
 // Per-job failures do not stop the other jobs; they are aggregated (with
 // their job index and name) into the returned error. Cancelling the context
-// stops dispatching new jobs — already-running jobs finish — and marks every
-// undispatched job failed with the context's error.
+// stops dispatching new jobs, cancels the running ones mid-pipeline (unless
+// a job carries its own Ctx), and marks every undispatched job failed with
+// the context's error.
 func RunBatch(ctx context.Context, reqs []Request, opts BatchOptions) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -47,7 +48,13 @@ func RunBatch(ctx context.Context, reqs []Request, opts BatchOptions) ([]*Result
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := run(reqs[i], shared[i])
+				r := reqs[i]
+				if r.Ctx == nil {
+					// The batch context now cancels running jobs mid-pipeline,
+					// not just undispatched ones.
+					r.Ctx = ctx
+				}
+				res, err := run(r, shared[i])
 				if err != nil {
 					errs[i] = fmt.Errorf("exec: batch job %d (%q): %w", i, reqs[i].Name, err)
 					continue

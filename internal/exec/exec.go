@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"time"
@@ -31,8 +32,9 @@ type PairFunc func(a, b Record, emit func([]byte)) error
 // Request describes one schema-driven execution.
 type Request struct {
 	// Ctx, when non-nil, carries the request's obs span so compile and audit
-	// stage timings land in the request trace. It does not cancel the engine
-	// run (the engine has no internal cancellation points).
+	// stage timings land in the request trace, and cancels the run: every
+	// streaming stage selects on Ctx.Done(), so a cancelled context stops the
+	// engine mid-pipeline and cleans up any spill files.
 	Ctx context.Context
 	// Name labels the job in errors and results.
 	Name string
@@ -45,6 +47,26 @@ type Request struct {
 	Inputs [][]byte
 	// XInputs and YInputs hold the X2Y input data per side, indexed by ID.
 	XInputs, YInputs [][]byte
+	// Source, when non-nil, streams the A2A input records instead of Inputs:
+	// record i of the stream is input ID i, and InputSizes must declare the
+	// byte size of every record (the planner's declared sizes) so routing
+	// loads are known up front. A record whose actual size differs from its
+	// declared size fails the run. Streaming input is A2A-only.
+	Source mr.Source
+	// InputSizes declares the record sizes of Source, indexed by input ID.
+	InputSizes []int
+	// Sink, when non-nil, receives output records as reduce partitions
+	// complete instead of materializing Result.Output. Records of one
+	// partition arrive in deterministic order; partitions interleave. A Sink
+	// error fails the run.
+	Sink func(rec []byte) error
+	// MemoryBudget, when positive, bounds the in-memory shuffle bytes of the
+	// run; over-budget partitions spill sorted run files to SpillDir (the OS
+	// temp dir when empty) and merge them back at reduce time. Spill volume
+	// is reported in Counters and the pland_exec_spill_* metrics.
+	MemoryBudget int64
+	// SpillDir is where spill run files go; "" means the OS temp dir.
+	SpillDir string
 	// Pair is the per-pair user logic; it is required.
 	Pair PairFunc
 	// Workers bounds reduce-phase parallelism; 0 means one worker per
@@ -129,12 +151,34 @@ func run(req Request, shared *schemaIndex) (*Result, error) {
 	if eng == nil {
 		eng = mr.NewEngine()
 	}
-	runRes, err := eng.Run(c.job(), c.records)
+	var sink mr.Sink
+	if req.Sink != nil {
+		sink = mr.SinkFunc(func(_ int, rec []byte) error { return req.Sink(rec) })
+	}
+	opts := mr.StreamOptions{
+		MemoryBudget: req.MemoryBudget,
+		SpillDir:     req.SpillDir,
+		OnSpill: func(partition int, runBytes int64) {
+			// A spill is an instant event in the trace, a counter in /metrics.
+			sp.Stage("spill")()
+			obsSpillRuns.Inc()
+			obsSpillBytes.Add(uint64(runBytes))
+		},
+		OnStage: func(stage string) func() { return sp.Stage("exec_" + stage) },
+	}
+	endStream := sp.Stage("exec_stream")
+	obsPipelineDepth.Inc()
+	runRes, err := eng.RunStream(req.Ctx, c.job(), c.source(), sink, opts)
+	obsPipelineDepth.Dec()
+	endStream()
 	if err != nil {
 		obsRunsError.Inc()
 		return nil, fmt.Errorf("exec: running job %q: %w", req.Name, err)
 	}
-	res.Output = runRes.FlatOutput()
+	obsSpillPartitions.Add(uint64(runRes.Counters.SpillPartitions))
+	if req.Sink == nil {
+		res.Output = runRes.FlatOutput()
+	}
 	res.Counters = runRes.Counters
 	res.PairsProcessed = c.trace.Pairs()
 	obsPairs.Add(uint64(res.PairsProcessed))
@@ -163,8 +207,10 @@ type compilation struct {
 	idx     *schemaIndex
 	auditor *Auditor
 	trace   *Trace
-	// expectedLoads is the byte image of the schema's routing per reducer.
-	expectedLoads []int64
+	// expectedLoads is the byte image of the schema's routing per reducer;
+	// expectedCopies is the matching record count per reducer.
+	expectedLoads  []int64
+	expectedCopies []int
 }
 
 // compile validates the request and derives records, the schema index (or
@@ -182,16 +228,29 @@ func compile(req Request, shared *schemaIndex) (*compilation, error) {
 	var err error
 	switch schema.Problem {
 	case core.ProblemA2A:
-		if len(req.Inputs) == 0 || req.XInputs != nil || req.YInputs != nil {
+		numA := len(req.Inputs)
+		if req.Source != nil {
+			if req.Inputs != nil {
+				return nil, fmt.Errorf("%w: Source and Inputs are mutually exclusive (job %q)", ErrBadInputs, req.Name)
+			}
+			if len(req.InputSizes) == 0 {
+				return nil, fmt.Errorf("%w: Source requires InputSizes (job %q)", ErrBadInputs, req.Name)
+			}
+			numA = len(req.InputSizes)
+		}
+		if numA == 0 || req.XInputs != nil || req.YInputs != nil {
 			return nil, fmt.Errorf("%w: A2A jobs take Inputs only (job %q)", ErrBadInputs, req.Name)
 		}
-		if shared.matches(schema, len(req.Inputs), 0, 0) {
+		if shared.matches(schema, numA, 0, 0) {
 			c.idx = shared
 		} else {
-			c.idx, err = newSchemaIndexA2A(schema, len(req.Inputs))
+			c.idx, err = newSchemaIndexA2A(schema, numA)
 		}
-		c.trace = newTriTrace(len(req.Inputs))
+		c.trace = newTriTrace(numA)
 	case core.ProblemX2Y:
+		if req.Source != nil {
+			return nil, fmt.Errorf("%w: streaming input (Source) supports A2A jobs only (job %q)", ErrBadInputs, req.Name)
+		}
 		if len(req.XInputs) == 0 || len(req.YInputs) == 0 || req.Inputs != nil {
 			return nil, fmt.Errorf("%w: X2Y jobs take XInputs and YInputs (job %q)", ErrBadInputs, req.Name)
 		}
@@ -250,8 +309,12 @@ func parseRecord(rec []byte) (side byte, id int, data []byte, err error) {
 	return rec[0], id, rec[2+cut+1:], nil
 }
 
-// buildRecords frames all request inputs into engine records.
+// buildRecords frames all request inputs into engine records. Streaming
+// requests frame lazily in the source instead.
 func (c *compilation) buildRecords() {
+	if c.req.Source != nil {
+		return
+	}
 	if c.schema.Problem == core.ProblemA2A {
 		c.records = make([][]byte, 0, len(c.req.Inputs))
 		for id, data := range c.req.Inputs {
@@ -291,29 +354,44 @@ func (c *compilation) assignmentsFor(side byte, id int) ([]int, error) {
 	}
 }
 
+// framedSize returns len(frameRecord(side, id, data)) for a data payload of
+// dataLen bytes, without building the frame.
+func framedSize(id, dataLen int) int64 {
+	return int64(3 + len(strconv.Itoa(id)) + dataLen)
+}
+
 // computeExpectedLoads derives, per reducer, the exact engine byte load the
-// compiled assignments will produce: reducer key plus framed record, for every
-// assigned copy.
+// compiled assignments will produce — reducer key plus framed record, for
+// every assigned copy — and the expected record count per reducer (the
+// engine's partition pre-sizing hints). Streaming requests use the declared
+// InputSizes in place of the materialized data.
 func (c *compilation) computeExpectedLoads() {
 	n := c.schema.NumReducers()
 	loads := make([]int64, n)
-	add := func(assign [][]int, side byte, inputs [][]byte) {
+	copies := make([]int, n)
+	add := func(assign [][]int, side byte, dataLen func(id int) int) {
 		for id, rs := range assign {
-			sz := int64(len(frameRecord(side, id, inputs[id])))
+			sz := framedSize(id, dataLen(id))
 			for _, r := range rs {
 				if r >= 0 && r < n {
 					loads[r] += int64(len(mr.ReducerKey(r))) + sz
+					copies[r]++
 				}
 			}
 		}
 	}
 	if c.schema.Problem == core.ProblemA2A {
-		add(c.idx.aAssign, sideA, c.req.Inputs)
+		if c.req.Source != nil {
+			add(c.idx.aAssign, sideA, func(id int) int { return c.req.InputSizes[id] })
+		} else {
+			add(c.idx.aAssign, sideA, func(id int) int { return len(c.req.Inputs[id]) })
+		}
 	} else {
-		add(c.idx.xAssign, sideX, c.req.XInputs)
-		add(c.idx.yAssign, sideY, c.req.YInputs)
+		add(c.idx.xAssign, sideX, func(id int) int { return len(c.req.XInputs[id]) })
+		add(c.idx.yAssign, sideY, func(id int) int { return len(c.req.YInputs[id]) })
 	}
 	c.expectedLoads = loads
+	c.expectedCopies = copies
 }
 
 // job assembles the engine job: schema partitioning, replication-aware
@@ -326,6 +404,13 @@ func (c *compilation) job() *mr.Job {
 			capacity = l
 		}
 	}
+	// The schema declares each partition's exact shape: one reducer key,
+	// expectedCopies[r] records, expectedLoads[r] bytes. The streaming engine
+	// pre-sizes its per-partition hash tables from these hints.
+	hints := make([]mr.PartitionHint, len(c.expectedLoads))
+	for r := range hints {
+		hints[r] = mr.PartitionHint{Keys: 1, Records: c.expectedCopies[r], Bytes: c.expectedLoads[r]}
+	}
 	return &mr.Job{
 		Name:              c.req.Name,
 		Mapper:            c.mapper(),
@@ -335,7 +420,48 @@ func (c *compilation) job() *mr.Job {
 		ReduceParallelism: c.req.Workers,
 		ReducerCapacity:   capacity,
 		MaxAttempts:       c.req.MaxAttempts,
+		PartitionHints:    hints,
 	}
+}
+
+// source returns the engine source of the run: the pre-framed records, or a
+// framing adapter over the request's streaming Source that assigns IDs in
+// arrival order and enforces the declared sizes.
+func (c *compilation) source() mr.Source {
+	if c.req.Source == nil {
+		return mr.NewSliceSource(c.records)
+	}
+	return &framingSource{src: c.req.Source, sizes: c.req.InputSizes, name: c.req.Name}
+}
+
+// framingSource adapts a raw record stream into framed engine records,
+// validating each record against its declared size. The schema (and its
+// audit) were planned for the declared sizes, so a mismatch fails fast
+// rather than executing a job whose routing no longer matches its inputs.
+type framingSource struct {
+	src   mr.Source
+	sizes []int
+	name  string
+	i     int
+}
+
+func (s *framingSource) Next() ([]byte, error) {
+	rec, err := s.src.Next()
+	if err != nil {
+		if errors.Is(err, io.EOF) && s.i != len(s.sizes) {
+			return nil, fmt.Errorf("exec: source for job %q ended after %d of %d declared records", s.name, s.i, len(s.sizes))
+		}
+		return nil, err
+	}
+	if s.i >= len(s.sizes) {
+		return nil, fmt.Errorf("exec: source for job %q produced more than the %d declared records", s.name, len(s.sizes))
+	}
+	if len(rec) != s.sizes[s.i] {
+		return nil, fmt.Errorf("exec: record %d of job %q is %d bytes, declared %d", s.i, s.name, len(rec), s.sizes[s.i])
+	}
+	framed := frameRecord(sideA, s.i, rec)
+	s.i++
+	return framed, nil
 }
 
 // mapper replicates every record to the reducers its schema assignment names.

@@ -24,6 +24,16 @@ var (
 
 	obsViolations = obs.Default.CounterVec("pland_exec_audit_violations_total",
 		"Conformance violations found by audits, by class.", "class")
+
+	obsSpillRuns = obs.Default.Counter("pland_exec_spill_runs_total",
+		"Sorted run files written by memory-budgeted executions.")
+	obsSpillBytes = obs.Default.Counter("pland_exec_spill_bytes_total",
+		"Bytes written to spill run files by memory-budgeted executions.")
+	obsSpillPartitions = obs.Default.Counter("pland_exec_spill_partitions_total",
+		"Reduce partitions that spilled at least once, summed over runs.")
+
+	obsPipelineDepth = obs.Default.Gauge("pland_exec_pipeline_depth",
+		"Streaming execution pipelines currently running.")
 )
 
 // violationClass maps a violation's sentinel to its bounded metric label.

@@ -35,6 +35,14 @@ type Counters struct {
 	// ReduceOutputRecords and ReduceOutputBytes describe the reducer output.
 	ReduceOutputRecords int64
 	ReduceOutputBytes   int64
+	// SpillRuns, SpillPartitions, and SpillBytes describe spill-to-disk
+	// activity of a streaming run under a memory budget: how many sorted run
+	// files were written, how many distinct partitions spilled at least once,
+	// and the total file bytes written. All three stay zero for unbounded
+	// runs.
+	SpillRuns       int64
+	SpillPartitions int64
+	SpillBytes      int64
 	// ReducerLoads holds the shuffle bytes received by each reduce
 	// partition, indexed by partition.
 	ReducerLoads []int64
@@ -78,6 +86,9 @@ func (c *Counters) Merge(o *Counters) {
 	c.ReduceInputKeys += o.ReduceInputKeys
 	c.ReduceOutputRecords += o.ReduceOutputRecords
 	c.ReduceOutputBytes += o.ReduceOutputBytes
+	c.SpillRuns += o.SpillRuns
+	c.SpillPartitions += o.SpillPartitions
+	c.SpillBytes += o.SpillBytes
 	c.ReducerLoads = append(c.ReducerLoads, o.ReducerLoads...)
 	if o.MaxReducerLoad > c.MaxReducerLoad {
 		c.MaxReducerLoad = o.MaxReducerLoad

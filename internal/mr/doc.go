@@ -1,14 +1,48 @@
-// Package mr is an in-memory MapReduce engine used as the execution
-// substrate for the paper's applications (similarity join and skew join).
+// Package mr is the streaming MapReduce engine that executes the paper's
+// applications (similarity join and skew join) and everything the exec layer
+// plans on top of it.
 //
-// The paper assumes a production MapReduce stack; its cost model only
-// depends on the amount of data shipped from mappers to reducers and on the
-// per-reducer load, which this engine measures byte-accurately through its
-// Counters. Map tasks and reduce tasks run on a configurable number of
-// goroutine workers, keys are partitioned with a pluggable partitioner, and
-// execution can be made fully deterministic for tests.
+// # Pipeline
 //
-// The engine deliberately keeps everything in memory: the reproduction's
-// experiments are about the number of reducers, the communication volume,
-// and the load balance of mapping schemas — not about disk formats.
+// A run is a pipeline of bounded-buffer channel stages:
+//
+//	Source → map workers → per-partition accumulators → reduce → Sink
+//
+// RunStream pulls records one at a time from a Source (so the whole input
+// never has to be materialized), fans them out to MapParallelism map workers,
+// and routes every emitted pair to the accumulator goroutine of its reduce
+// partition — one goroutine pipeline per partition, with hash tables pre-sized
+// from the job's declared PartitionHints. Reduce tasks run as partitions
+// complete, gated by a ReduceParallelism semaphore, and write either to the
+// caller's Sink or into the collected Result.Output. Every channel operation
+// selects on ctx.Done(), so cancellation propagates mid-pipeline without
+// waiting for a stage to drain.
+//
+// The slice-based Engine.Run is a thin adapter: it wraps its input in a
+// SliceSource and calls RunStream with default options. Both paths produce
+// identical Counters and identical per-partition output.
+//
+// # Spill to disk
+//
+// StreamOptions.MemoryBudget bounds the bytes of map output buffered in
+// memory across all partitions. When an insert pushes the engine over budget,
+// the inserting partition writes its table out as a sorted run file
+// (uvarint-framed key/value records in a private temp directory under
+// StreamOptions.SpillDir) and starts over empty; at reduce time the partition
+// k-way merges its run files with the in-memory remainder, so grouping and
+// output are byte-identical to an unbounded run. Spill volume is reported in
+// Counters (SpillRuns, SpillPartitions, SpillBytes) and surfaced per run via
+// the OnSpill hook. The temp directory is removed when the run ends, on every
+// path — success, error, or cancellation.
+//
+// # Determinism
+//
+// Each map emission carries its provenance: the source record index and the
+// emission ordinal. Values within a key group are ordered by that provenance,
+// so output is deterministic regardless of MapParallelism, buffering, or how
+// many times a partition spilled.
+//
+// The paper assumes a production MapReduce stack; its cost model depends only
+// on the data shipped from mappers to reducers and on per-reducer load, which
+// this engine measures byte-accurately through its Counters.
 package mr

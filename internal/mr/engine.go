@@ -1,10 +1,8 @@
 package mr
 
 import (
+	"context"
 	"fmt"
-	"sort"
-	"sync"
-	"time"
 )
 
 // Engine executes jobs. The zero value is ready to use.
@@ -14,77 +12,14 @@ type Engine struct{}
 func NewEngine() *Engine { return &Engine{} }
 
 // Run executes the job over the given input records and returns the output
-// and counters. Map tasks process one input record each; intermediate pairs
-// are partitioned with the job's partitioner, grouped by key, and handed to
+// and counters. It is a thin adapter over RunStream: the records are fed
+// through a SliceSource and the output is collected per partition, so Run
+// keeps its fully materialized signature while execution itself streams.
+// Map tasks process one input record each; intermediate pairs are
+// partitioned with the job's partitioner, grouped by key, and handed to
 // reduce tasks, one per partition.
 func (e *Engine) Run(job *Job, inputs [][]byte) (*Result, error) {
-	if err := job.validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	res.Counters.MapInputRecords = int64(len(inputs))
-
-	mapStart := time.Now()
-	partitions, mapCounters, err := e.runMapPhase(job, inputs)
-	if err != nil {
-		return nil, err
-	}
-	res.Counters.MapOutputRecords = mapCounters.records
-	res.Counters.MapOutputBytes = mapCounters.bytes
-	res.Counters.MapWall = time.Since(mapStart)
-
-	// Optional combine phase, per partition. Pre/post record and byte counts
-	// let the counters attribute the map-output-to-shuffle gap to combining;
-	// the combiner consumes the whole map output, so the pre-combine figures
-	// are the map-output counters.
-	if job.Combiner != nil {
-		combineStart := time.Now()
-		res.Counters.CombineInputRecords = mapCounters.records
-		res.Counters.CombineInputBytes = mapCounters.bytes
-		for p := range partitions {
-			combined, err := combinePartition(job, partitions[p])
-			if err != nil {
-				return nil, err
-			}
-			partitions[p] = combined
-			for _, pr := range combined {
-				res.Counters.CombineOutputRecords++
-				res.Counters.CombineOutputBytes += int64(pr.Size())
-			}
-		}
-		res.Counters.CombineWall = time.Since(combineStart)
-	}
-
-	// Shuffle accounting + capacity check.
-	res.Counters.ReducerLoads = make([]int64, job.NumReducers)
-	for p, pairs := range partitions {
-		var load int64
-		for _, pr := range pairs {
-			load += int64(pr.Size())
-		}
-		res.Counters.ReducerLoads[p] = load
-		res.Counters.ShuffleRecords += int64(len(pairs))
-		res.Counters.ShuffleBytes += load
-		if load > res.Counters.MaxReducerLoad {
-			res.Counters.MaxReducerLoad = load
-		}
-		if job.ReducerCapacity > 0 && load > job.ReducerCapacity {
-			return nil, fmt.Errorf("%w: partition %d holds %d bytes > capacity %d (job %q)",
-				ErrOverCapacity, p, load, job.ReducerCapacity, job.Name)
-		}
-	}
-
-	reduceStart := time.Now()
-	if err := e.runReducePhase(job, partitions, res); err != nil {
-		return nil, err
-	}
-	res.Counters.ReduceWall = time.Since(reduceStart)
-	return res, nil
-}
-
-type mapCounters struct {
-	records int64
-	bytes   int64
+	return e.RunStream(context.Background(), job, NewSliceSource(inputs), nil, StreamOptions{})
 }
 
 // runMapTask applies the mapper to one record, retrying up to the job's
@@ -117,161 +52,4 @@ func runReduceTask(job *Job, key string, values [][]byte) ([][]byte, error) {
 		return out, nil
 	}
 	return nil, fmt.Errorf("failed after %d attempts: %w", job.attempts(), lastErr)
-}
-
-// runMapPhase runs the mappers with bounded parallelism and partitions their
-// output.
-func (e *Engine) runMapPhase(job *Job, inputs [][]byte) ([][]Pair, mapCounters, error) {
-	workers := job.MapParallelism
-	if workers <= 0 {
-		workers = job.NumReducers
-	}
-	if workers > len(inputs) {
-		workers = len(inputs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	part := job.partitioner()
-
-	// Each worker partitions locally; results are merged afterwards so the
-	// merge order is deterministic (by worker slot, then emission order).
-	type workerOut struct {
-		partitions [][]Pair
-		counters   mapCounters
-		err        error
-	}
-	outs := make([]workerOut, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make([][]Pair, job.NumReducers)
-			var ctr mapCounters
-			commit := func(buffered []Pair) {
-				for _, p := range buffered {
-					idx := part(p.Key, job.NumReducers)
-					if idx < 0 || idx >= job.NumReducers {
-						idx = 0
-					}
-					local[idx] = append(local[idx], p)
-					ctr.records++
-					ctr.bytes += int64(p.Size())
-				}
-			}
-			// Static round-robin split keeps the per-worker record order
-			// deterministic regardless of scheduling. Each record is one map
-			// task: its emissions are buffered and only committed when the
-			// attempt succeeds, so a retried task never double-emits.
-			for i := w; i < len(inputs); i += workers {
-				buffered, err := runMapTask(job, inputs[i])
-				if err != nil {
-					outs[w] = workerOut{err: fmt.Errorf("mr: map task over record %d: %w", i, err)}
-					return
-				}
-				commit(buffered)
-			}
-			outs[w] = workerOut{partitions: local, counters: ctr}
-		}(w)
-	}
-	wg.Wait()
-
-	merged := make([][]Pair, job.NumReducers)
-	var total mapCounters
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, mapCounters{}, o.err
-		}
-		for p := range o.partitions {
-			merged[p] = append(merged[p], o.partitions[p]...)
-		}
-		total.records += o.counters.records
-		total.bytes += o.counters.bytes
-	}
-	return merged, total, nil
-}
-
-// combinePartition groups a partition by key and runs the combiner on each
-// group.
-func combinePartition(job *Job, pairs []Pair) ([]Pair, error) {
-	groups, keys := groupByKey(pairs)
-	var out []Pair
-	emit := func(p Pair) { out = append(out, p) }
-	for _, k := range keys {
-		if err := job.Combiner.Combine(k, groups[k], emit); err != nil {
-			return nil, fmt.Errorf("mr: combine key %q: %w", k, err)
-		}
-	}
-	return out, nil
-}
-
-// runReducePhase groups each partition by key and applies the reducer with
-// bounded parallelism.
-func (e *Engine) runReducePhase(job *Job, partitions [][]Pair, res *Result) error {
-	workers := job.ReduceParallelism
-	if workers <= 0 {
-		workers = job.NumReducers
-	}
-	if workers > job.NumReducers {
-		workers = job.NumReducers
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	res.Output = make([][][]byte, job.NumReducers)
-	keyCounts := make([]int64, job.NumReducers)
-	errs := make([]error, job.NumReducers)
-
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for p := 0; p < job.NumReducers; p++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(p int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			groups, keys := groupByKey(partitions[p])
-			keyCounts[p] = int64(len(keys))
-			var out [][]byte
-			for _, k := range keys {
-				recs, err := runReduceTask(job, k, groups[k])
-				if err != nil {
-					errs[p] = fmt.Errorf("mr: reduce partition %d key %q: %w", p, k, err)
-					return
-				}
-				out = append(out, recs...)
-			}
-			res.Output[p] = out
-		}(p)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	for p := range res.Output {
-		res.Counters.ReduceInputKeys += keyCounts[p]
-		for _, rec := range res.Output[p] {
-			res.Counters.ReduceOutputRecords++
-			res.Counters.ReduceOutputBytes += int64(len(rec))
-		}
-	}
-	return nil
-}
-
-// groupByKey groups pairs by key, preserving the per-key value order, and
-// returns the keys sorted for deterministic reduction order.
-func groupByKey(pairs []Pair) (map[string][][]byte, []string) {
-	groups := make(map[string][][]byte)
-	for _, p := range pairs {
-		groups[p.Key] = append(groups[p.Key], p.Value)
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return groups, keys
 }

@@ -88,6 +88,38 @@ type Job struct {
 	// Retries model the fault tolerance of a real MapReduce stack and are
 	// exercised by the failure-injection tests.
 	MaxAttempts int
+	// PartitionHints optionally pre-sizes the per-partition hash tables of a
+	// streaming run from the planned schema's declared loads, indexed by
+	// partition. Missing or short hints are harmless: tables grow as usual.
+	PartitionHints []PartitionHint
+}
+
+// PartitionHint declares the expected shape of one reduce partition's input,
+// derived from the planned schema (a schema-driven partition holds exactly
+// one key whose load is bounded by the reducer capacity q).
+type PartitionHint struct {
+	// Keys is the expected number of distinct keys in the partition.
+	Keys int
+	// Records is the expected number of intermediate records.
+	Records int
+	// Bytes is the expected shuffle load in Pair.Size bytes.
+	Bytes int64
+}
+
+// keysHint returns the usable key-count hint (never negative).
+func (h PartitionHint) keysHint() int {
+	if h.Keys > 0 {
+		return h.Keys
+	}
+	return 0
+}
+
+// hint returns the partition's declared hint, or a zero hint.
+func (j *Job) hint(p int) PartitionHint {
+	if p >= 0 && p < len(j.PartitionHints) {
+		return j.PartitionHints[p]
+	}
+	return PartitionHint{}
 }
 
 // attempts returns the effective attempt budget.

@@ -1,0 +1,586 @@
+package mr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The streaming pipeline: a reader goroutine pulls records from the Source
+// into a bounded channel, map workers apply the mapper and route each
+// emitted pair to its partition's bounded channel, and one goroutine per
+// reduce partition accumulates pairs into a pre-sized hash table — spilling
+// sorted runs to disk when the run's memory budget is exceeded — then
+// groups, optionally combines, and reduces, emitting output to the Sink (or
+// the collected Result). Every channel operation selects on the run
+// context, so cancellation tears the whole pipeline down promptly.
+
+// srcRecord is one input record tagged with its index.
+type srcRecord struct {
+	idx  int64
+	data []byte
+}
+
+// pipeline is the state of one RunStream call.
+type pipeline struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	job    *Job
+	src    Source
+	sink   Sink
+	opts   StreamOptions
+	res    *Result
+
+	parts  []chan streamPair
+	states []*partitionState
+
+	memUsed atomic.Int64 // in-memory shuffle bytes across partitions
+
+	spillMu  sync.Mutex
+	spillDir string // lazily created; "" until the first spill
+
+	sinkMu sync.Mutex
+
+	errOnce sync.Once
+	err     error
+
+	mapRecords atomic.Int64 // map output records
+	mapBytes   atomic.Int64 // map output bytes
+	inRecords  atomic.Int64 // map input records
+
+	spillRuns       atomic.Int64
+	spillBytes      atomic.Int64
+	spillPartitions atomic.Int64
+
+	combineWall atomic.Int64 // summed per-partition combine nanoseconds
+}
+
+// partitionState accumulates one reduce partition.
+type partitionState struct {
+	part   int
+	groups map[string][]valueRec
+	// firstKey pre-sizes the single-key fast path (schema-driven jobs have
+	// exactly one key per partition).
+	hint PartitionHint
+
+	memBytes int64 // in-memory pair bytes of this partition
+	load     int64 // arrival shuffle bytes (pre-combine)
+	records  int64 // arrival shuffle records (pre-combine)
+	spills   []spillRun
+	spillSeq int
+	spilled  bool
+
+	// Finalize results, folded into the run counters at the end.
+	shuffleRecords int64 // post-combine (== records without a combiner)
+	shuffleBytes   int64 // post-combine (== load without a combiner)
+	reduceKeys     int64
+	outRecords     int64
+	outBytes       int64
+	combineInRecs  int64
+	combineInBytes int64
+	combineOutRecs int64
+	combineOutByte int64
+}
+
+// valueRec is one buffered value with its provenance tag.
+type valueRec struct {
+	data []byte
+	rec  int64
+	emit int32
+}
+
+// RunStream executes the job as a streaming pipeline: records are pulled
+// from src, shuffled through bounded per-partition channels, and output
+// records are pushed to sink as reduce partitions complete. When sink is
+// nil the output is collected per partition into the Result (Run's
+// behaviour). The context cancels the run mid-pipeline; spill files are
+// always removed before RunStream returns.
+func (e *Engine) RunStream(ctx context.Context, job *Job, src Source, sink Sink, opts StreamOptions) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if src == nil {
+		src = NewSliceSource(nil)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	p := &pipeline{
+		ctx:    runCtx,
+		cancel: cancel,
+		job:    job,
+		src:    src,
+		sink:   sink,
+		opts:   opts,
+		res:    &Result{},
+	}
+	defer p.removeSpillDir()
+	return p.run()
+}
+
+// fail records the first error and cancels the pipeline.
+func (p *pipeline) fail(err error) {
+	p.errOnce.Do(func() {
+		p.err = err
+		p.cancel()
+	})
+}
+
+// run drives the pipeline to completion.
+func (p *pipeline) run() (*Result, error) {
+	job := p.job
+	n := job.NumReducers
+	p.parts = make([]chan streamPair, n)
+	p.states = make([]*partitionState, n)
+	buf := p.opts.bufferSize()
+	for i := range p.parts {
+		p.parts[i] = make(chan streamPair, buf)
+		p.states[i] = &partitionState{part: i, hint: job.hint(i)}
+		p.states[i].groups = make(map[string][]valueRec, p.states[i].hint.keysHint())
+	}
+
+	start := time.Now()
+	endMap := p.opts.stage("map")
+
+	// Stage 1: reader.
+	mapIn := make(chan srcRecord, buf)
+	go p.readSource(mapIn)
+
+	// Stage 2: map workers.
+	workers := job.MapParallelism
+	if workers <= 0 {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var mapWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		mapWG.Add(1)
+		go func() {
+			defer mapWG.Done()
+			p.mapWorker(mapIn)
+		}()
+	}
+
+	// Stage 3: one pipeline per reduce partition. Accumulation runs fully
+	// parallel; the reduce step (user code over materialized key groups) is
+	// gated by ReduceParallelism.
+	reduceWorkers := job.ReduceParallelism
+	if reduceWorkers <= 0 || reduceWorkers > n {
+		reduceWorkers = n
+	}
+	reduceSem := make(chan struct{}, reduceWorkers)
+	var partWG sync.WaitGroup
+	var mapDone atomic.Pointer[time.Time] // set when the map stage ends
+	for i := range p.parts {
+		partWG.Add(1)
+		go func(i int) {
+			defer partWG.Done()
+			p.partitionWorker(p.states[i], p.parts[i], reduceSem)
+		}(i)
+	}
+
+	// Close the partition channels when every map worker is done; this is
+	// the end of the map stage.
+	go func() {
+		mapWG.Wait()
+		t := time.Now()
+		mapDone.Store(&t)
+		endMap()
+		for _, ch := range p.parts {
+			close(ch)
+		}
+	}()
+
+	partWG.Wait()
+	endReduce := p.opts.stage("reduce")
+	endReduce()
+
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err := p.ctx.Err(); err != nil {
+		// The parent context was cancelled (no internal stage failed first).
+		return nil, err
+	}
+	p.collectCounters(start, mapDone.Load())
+	return p.res, nil
+}
+
+// readSource pulls records from the source into the map stage.
+func (p *pipeline) readSource(mapIn chan<- srcRecord) {
+	defer close(mapIn)
+	var idx int64
+	for {
+		rec, err := p.src.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				p.fail(fmt.Errorf("mr: reading input record %d: %w", idx, err))
+			}
+			return
+		}
+		select {
+		case mapIn <- srcRecord{idx: idx, data: rec}:
+			p.inRecords.Add(1)
+			idx++
+		case <-p.ctx.Done():
+			return
+		}
+	}
+}
+
+// mapWorker maps records and routes the emissions to their partitions.
+func (p *pipeline) mapWorker(mapIn <-chan srcRecord) {
+	job := p.job
+	part := job.partitioner()
+	n := job.NumReducers
+	for {
+		var rec srcRecord
+		var ok bool
+		select {
+		case rec, ok = <-mapIn:
+			if !ok {
+				return
+			}
+		case <-p.ctx.Done():
+			return
+		}
+		buffered, err := runMapTask(job, rec.data)
+		if err != nil {
+			p.fail(fmt.Errorf("mr: map task over record %d: %w", rec.idx, err))
+			return
+		}
+		var bytes int64
+		for i, pr := range buffered {
+			idx := part(pr.Key, n)
+			if idx < 0 || idx >= n {
+				idx = 0
+			}
+			sp := streamPair{Pair: pr, rec: rec.idx, emit: int32(i)}
+			select {
+			case p.parts[idx] <- sp:
+			case <-p.ctx.Done():
+				return
+			}
+			bytes += int64(pr.Size())
+		}
+		p.mapRecords.Add(int64(len(buffered)))
+		p.mapBytes.Add(bytes)
+	}
+}
+
+// partitionWorker accumulates one partition's pairs (spilling under memory
+// pressure), then combines and reduces them.
+func (p *pipeline) partitionWorker(st *partitionState, in <-chan streamPair, reduceSem chan struct{}) {
+	defer func() {
+		// Whatever happened, stop charging this partition's buffer against
+		// the budget.
+		p.memUsed.Add(-st.memBytes)
+		st.memBytes = 0
+	}()
+	job := p.job
+	checkCapacity := job.ReducerCapacity > 0 && job.Combiner == nil
+	for {
+		var sp streamPair
+		var ok bool
+		select {
+		case sp, ok = <-in:
+		case <-p.ctx.Done():
+			return
+		}
+		if !ok {
+			break
+		}
+		size := int64(sp.Size())
+		st.records++
+		st.load += size
+		if checkCapacity && st.load > job.ReducerCapacity {
+			p.fail(fmt.Errorf("%w: partition %d holds %d bytes > capacity %d (job %q)",
+				ErrOverCapacity, st.part, st.load, job.ReducerCapacity, job.Name))
+			return
+		}
+		vals, seen := st.groups[sp.Key]
+		if !seen && len(st.groups) == 0 && st.hint.keysHint() == 1 && st.hint.Records > 0 {
+			vals = make([]valueRec, 0, st.hint.Records)
+		}
+		st.groups[sp.Key] = append(vals, valueRec{data: sp.Value, rec: sp.rec, emit: sp.emit})
+		st.memBytes += size
+		if p.memUsed.Add(size) > p.opts.MemoryBudget && p.opts.MemoryBudget > 0 && st.memBytes > 0 {
+			if err := p.spill(st); err != nil {
+				p.fail(err)
+				return
+			}
+		}
+	}
+
+	// Input complete: group, combine, reduce. The reduce step materializes
+	// one key group at a time and runs user code, so it is bounded by the
+	// reduce-parallelism semaphore.
+	select {
+	case reduceSem <- struct{}{}:
+	case <-p.ctx.Done():
+		return
+	}
+	defer func() { <-reduceSem }()
+	if err := p.finalizePartition(st); err != nil {
+		p.fail(err)
+	}
+}
+
+// spill writes the partition's in-memory table as one sorted run file and
+// clears it.
+func (p *pipeline) spill(st *partitionState) error {
+	dir, err := p.ensureSpillDir()
+	if err != nil {
+		return err
+	}
+	pairs := make([]streamPair, 0, len(st.groups))
+	for k, vals := range st.groups {
+		for _, v := range vals {
+			pairs = append(pairs, streamPair{Pair: Pair{Key: k, Value: v.data}, rec: v.rec, emit: v.emit})
+		}
+	}
+	run, err := writeSpillRun(dir, st.part, st.spillSeq, pairs)
+	if err != nil {
+		return err
+	}
+	st.spillSeq++
+	st.spills = append(st.spills, run)
+	p.memUsed.Add(-st.memBytes)
+	st.memBytes = 0
+	st.groups = make(map[string][]valueRec, st.hint.keysHint())
+	p.spillRuns.Add(1)
+	p.spillBytes.Add(run.bytes)
+	if !st.spilled {
+		st.spilled = true
+		p.spillPartitions.Add(1)
+	}
+	if p.opts.OnSpill != nil {
+		p.opts.OnSpill(st.part, run.bytes)
+	}
+	return nil
+}
+
+// ensureSpillDir creates the run's private spill directory on first use.
+func (p *pipeline) ensureSpillDir() (string, error) {
+	p.spillMu.Lock()
+	defer p.spillMu.Unlock()
+	if p.spillDir != "" {
+		return p.spillDir, nil
+	}
+	dir, err := os.MkdirTemp(p.opts.SpillDir, "mr-spill-")
+	if err != nil {
+		return "", fmt.Errorf("mr: creating spill directory: %w", err)
+	}
+	p.spillDir = dir
+	return dir, nil
+}
+
+// removeSpillDir deletes the run's spill directory, if one was created.
+func (p *pipeline) removeSpillDir() {
+	p.spillMu.Lock()
+	dir := p.spillDir
+	p.spillDir = ""
+	p.spillMu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+}
+
+// groupCursors returns the cursors the partition's key groups merge from:
+// every spill run plus the sorted in-memory table.
+func (st *partitionState) groupCursors() ([]pairCursor, error) {
+	cursors := make([]pairCursor, 0, len(st.spills)+1)
+	for _, run := range st.spills {
+		c, err := openRun(run)
+		if err != nil {
+			for _, open := range cursors {
+				open.close()
+			}
+			return nil, err
+		}
+		cursors = append(cursors, c)
+	}
+	if len(st.groups) > 0 {
+		pairs := make([]streamPair, 0, len(st.groups))
+		for k, vals := range st.groups {
+			for _, v := range vals {
+				pairs = append(pairs, streamPair{Pair: Pair{Key: k, Value: v.data}, rec: v.rec, emit: v.emit})
+			}
+		}
+		sortPairs(pairs)
+		cursors = append(cursors, &memCursor{pairs: pairs})
+	}
+	return cursors, nil
+}
+
+// forEachGroup yields the partition's key groups in deterministic (key, then
+// provenance) order, merging spill runs with the in-memory table. The
+// common no-spill path avoids the merge machinery: keys are sorted and each
+// group's values ordered by provenance in place.
+func (st *partitionState) forEachGroup(fn func(key string, values [][]byte) error) error {
+	if len(st.spills) == 0 {
+		keys := make([]string, 0, len(st.groups))
+		for k := range st.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			vals := st.groups[k]
+			sort.Slice(vals, func(i, j int) bool {
+				if vals[i].rec != vals[j].rec {
+					return vals[i].rec < vals[j].rec
+				}
+				return vals[i].emit < vals[j].emit
+			})
+			values := make([][]byte, len(vals))
+			for i, v := range vals {
+				values[i] = v.data
+			}
+			if err := fn(k, values); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cursors, err := st.groupCursors()
+	if err != nil {
+		return err
+	}
+	return mergePairs(cursors, fn)
+}
+
+// finalizePartition combines (optionally) and reduces one completed
+// partition, streaming its output.
+func (p *pipeline) finalizePartition(st *partitionState) error {
+	job := p.job
+
+	if job.Combiner != nil {
+		// Combine consumes the partition's full map output and emits the
+		// pairs that are "shuffled": counters and the capacity bound apply
+		// to the combined volume, exactly as in a map-side combine.
+		combineStart := time.Now()
+		st.combineInRecs = st.records
+		st.combineInBytes = st.load
+		var combined []streamPair
+		var seq int32
+		err := st.forEachGroup(func(key string, values [][]byte) error {
+			emit := func(pr Pair) {
+				combined = append(combined, streamPair{Pair: pr, rec: 0, emit: seq})
+				seq++
+			}
+			if err := job.Combiner.Combine(key, values, emit); err != nil {
+				return fmt.Errorf("mr: combine key %q: %w", key, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		p.combineWall.Add(int64(time.Since(combineStart)))
+		// Replace the accumulated state with the combined pairs.
+		p.memUsed.Add(-st.memBytes)
+		st.memBytes = 0
+		st.spills = nil
+		st.groups = make(map[string][]valueRec, st.hint.keysHint())
+		for _, sp := range combined {
+			st.shuffleRecords++
+			st.shuffleBytes += int64(sp.Size())
+			st.groups[sp.Key] = append(st.groups[sp.Key], valueRec{data: sp.Value, rec: sp.rec, emit: sp.emit})
+		}
+		st.combineOutRecs = st.shuffleRecords
+		st.combineOutByte = st.shuffleBytes
+		if job.ReducerCapacity > 0 && st.shuffleBytes > job.ReducerCapacity {
+			return fmt.Errorf("%w: partition %d holds %d bytes > capacity %d (job %q)",
+				ErrOverCapacity, st.part, st.shuffleBytes, job.ReducerCapacity, job.Name)
+		}
+	} else {
+		st.shuffleRecords = st.records
+		st.shuffleBytes = st.load
+	}
+
+	var collected [][]byte
+	err := st.forEachGroup(func(key string, values [][]byte) error {
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
+		st.reduceKeys++
+		out, err := runReduceTask(job, key, values)
+		if err != nil {
+			return fmt.Errorf("mr: reduce partition %d key %q: %w", st.part, key, err)
+		}
+		for _, rec := range out {
+			st.outRecords++
+			st.outBytes += int64(len(rec))
+		}
+		if p.sink == nil {
+			collected = append(collected, out...)
+			return nil
+		}
+		p.sinkMu.Lock()
+		defer p.sinkMu.Unlock()
+		for _, rec := range out {
+			if err := p.sink.Write(st.part, rec); err != nil {
+				return fmt.Errorf("mr: sink write (partition %d): %w", st.part, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if p.sink == nil {
+		p.sinkMu.Lock()
+		if p.res.Output == nil {
+			p.res.Output = make([][][]byte, job.NumReducers)
+		}
+		p.res.Output[st.part] = collected
+		p.sinkMu.Unlock()
+	}
+	return nil
+}
+
+// collectCounters folds the per-partition states into the result counters.
+func (p *pipeline) collectCounters(start time.Time, mapDone *time.Time) {
+	c := &p.res.Counters
+	job := p.job
+	c.MapInputRecords = p.inRecords.Load()
+	c.MapOutputRecords = p.mapRecords.Load()
+	c.MapOutputBytes = p.mapBytes.Load()
+	if mapDone != nil {
+		c.MapWall = mapDone.Sub(start)
+		c.ReduceWall = time.Since(*mapDone)
+	}
+	c.CombineWall = time.Duration(p.combineWall.Load())
+	c.ReducerLoads = make([]int64, job.NumReducers)
+	for _, st := range p.states {
+		c.ReducerLoads[st.part] = st.shuffleBytes
+		if st.shuffleBytes > c.MaxReducerLoad {
+			c.MaxReducerLoad = st.shuffleBytes
+		}
+		c.ShuffleRecords += st.shuffleRecords
+		c.ShuffleBytes += st.shuffleBytes
+		c.ReduceInputKeys += st.reduceKeys
+		c.ReduceOutputRecords += st.outRecords
+		c.ReduceOutputBytes += st.outBytes
+		c.CombineInputRecords += st.combineInRecs
+		c.CombineInputBytes += st.combineInBytes
+		c.CombineOutputRecords += st.combineOutRecs
+		c.CombineOutputBytes += st.combineOutByte
+	}
+	c.SpillRuns = p.spillRuns.Load()
+	c.SpillBytes = p.spillBytes.Load()
+	c.SpillPartitions = p.spillPartitions.Load()
+	if p.sink == nil && p.res.Output == nil {
+		p.res.Output = make([][][]byte, job.NumReducers)
+	}
+}

@@ -1,0 +1,103 @@
+package mr
+
+import "io"
+
+// Source yields the input records of a job one at a time, so a run never
+// needs the whole input materialized. Next returns the next record, or
+// io.EOF after the last one. The engine calls Next from a single goroutine.
+type Source interface {
+	Next() ([]byte, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func() ([]byte, error)
+
+// Next implements Source.
+func (f SourceFunc) Next() ([]byte, error) { return f() }
+
+// SliceSource streams an in-memory record slice.
+type SliceSource struct {
+	recs [][]byte
+	i    int
+}
+
+// NewSliceSource returns a Source over the given records.
+func NewSliceSource(recs [][]byte) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() ([]byte, error) {
+	if s.i >= len(s.recs) {
+		return nil, io.EOF
+	}
+	rec := s.recs[s.i]
+	s.i++
+	return rec, nil
+}
+
+// Sink receives the output records of a streaming run as reduce partitions
+// produce them, tagged with the partition that emitted them. Records of one
+// partition arrive in that partition's deterministic emission order;
+// partitions interleave as they complete. The engine serializes Write calls,
+// so implementations need no locking. A Write error fails the run.
+type Sink interface {
+	Write(partition int, rec []byte) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(partition int, rec []byte) error
+
+// Write implements Sink.
+func (f SinkFunc) Write(partition int, rec []byte) error { return f(partition, rec) }
+
+// StreamOptions tunes one RunStream call.
+type StreamOptions struct {
+	// MemoryBudget bounds the bytes of shuffled intermediate pairs the run
+	// holds in memory across all partitions (measured in Pair.Size units).
+	// When the budget is exceeded, the inserting partition spills its
+	// in-memory table to a sorted run file and continues; runs are merged
+	// back at reduce time. Zero or negative means unbounded: nothing spills.
+	//
+	// The budget covers the shuffle only. Each reduce task still materializes
+	// one key group at a time, so the peak memory of a run is roughly
+	// MemoryBudget + ReduceParallelism x the largest per-partition key group
+	// (for schema-driven jobs: the reducer capacity q).
+	MemoryBudget int64
+	// SpillDir is the directory spill runs are written under; "" means the
+	// OS temp dir. Each run creates (lazily, on first spill) one private
+	// "mr-spill-*" subdirectory and removes it when the run ends, whatever
+	// the outcome.
+	SpillDir string
+	// BufferSize is the capacity of the bounded channels between pipeline
+	// stages; 0 means a small default. Larger buffers absorb burstier
+	// mappers at the cost of memory.
+	BufferSize int
+	// OnSpill, when non-nil, is invoked after each spilled run with the
+	// partition and the bytes written to the run file (metrics hook).
+	OnSpill func(partition int, runBytes int64)
+	// OnStage, when non-nil, is invoked at the start of each pipeline phase
+	// ("map", "reduce") and the returned function at its end (tracing hook).
+	OnStage func(stage string) func()
+}
+
+// defaultStageBuffer is the per-partition channel capacity when
+// StreamOptions.BufferSize is unset.
+const defaultStageBuffer = 64
+
+func (o *StreamOptions) bufferSize() int {
+	if o.BufferSize > 0 {
+		return o.BufferSize
+	}
+	return defaultStageBuffer
+}
+
+// stage invokes the OnStage hook, tolerating nil hooks and nil end funcs.
+func (o *StreamOptions) stage(name string) func() {
+	if o.OnStage == nil {
+		return func() {}
+	}
+	end := o.OnStage(name)
+	if end == nil {
+		return func() {}
+	}
+	return end
+}

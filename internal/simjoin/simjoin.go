@@ -34,6 +34,14 @@ type Config struct {
 	// Workers bounds reduce-phase parallelism; 0 means one worker per
 	// reducer.
 	Workers int
+	// MemoryBudget, when positive, bounds the in-memory shuffle bytes of the
+	// run: over-budget reduce partitions spill sorted run files to SpillDir
+	// (the OS temp dir when empty) and merge them back at reduce time.
+	// Output is unchanged; spill volume lands in Counters.
+	MemoryBudget int64
+	// SpillDir is where over-budget partitions spill; "" means the OS temp
+	// dir.
+	SpillDir string
 }
 
 // Result is the outcome of a similarity-join run.
@@ -106,11 +114,13 @@ func Run(docs []workload.Document, cfg Config) (*Result, error) {
 		records[i] = encodeDocument(d)
 	}
 	execRes, err := exec.Run(exec.Request{
-		Name:    "similarity-join",
-		Schema:  schema,
-		Inputs:  records,
-		Pair:    comparePair(cfg),
-		Workers: cfg.Workers,
+		Name:         "similarity-join",
+		Schema:       schema,
+		Inputs:       records,
+		Pair:         comparePair(cfg),
+		Workers:      cfg.Workers,
+		MemoryBudget: cfg.MemoryBudget,
+		SpillDir:     cfg.SpillDir,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simjoin: running the job: %w", err)

@@ -42,6 +42,14 @@ type Config struct {
 	// joined tuples themselves; the joined tuples of a heavy hitter grow
 	// quadratically, so benchmarks use CountOnly.
 	CountOnly bool
+	// MemoryBudget, when positive, bounds the in-memory shuffle bytes of
+	// each underlying engine run (the light-key job and every heavy-key
+	// job): over-budget partitions spill sorted run files and merge them
+	// back at reduce time. Output is unchanged.
+	MemoryBudget int64
+	// SpillDir is where over-budget partitions spill; "" means the OS temp
+	// dir.
+	SpillDir string
 }
 
 // policy resolves the configured packing heuristic via binpack.ResolvePolicy.

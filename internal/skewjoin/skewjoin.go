@@ -206,7 +206,9 @@ func runLight(plan *Plan, x, y *workload.Relation, cfg Config) ([][]byte, *mr.Co
 		Partitioner:       mr.SchemaPartitioner,
 		ReduceParallelism: cfg.Workers,
 	}
-	runRes, err := mr.NewEngine().Run(job, encodeRelations(x, y))
+	runRes, err := mr.NewEngine().RunStream(context.Background(), job,
+		mr.NewSliceSource(encodeRelations(x, y)), nil,
+		mr.StreamOptions{MemoryBudget: cfg.MemoryBudget, SpillDir: cfg.SpillDir})
 	if err != nil {
 		return nil, nil, fmt.Errorf("skewjoin: running the light-key job: %w", err)
 	}
@@ -316,11 +318,13 @@ func heavyRequests(plan *Plan, x, y *workload.Relation, cfg Config) []exec.Reque
 		xPayloads, xInputs := blockInputs(x, plan.xBlocks[key])
 		yPayloads, yInputs := blockInputs(y, plan.yBlocks[key])
 		reqs = append(reqs, exec.Request{
-			Name:    "skew-join-heavy:" + key,
-			Schema:  plan.HeavySchemas[key],
-			XInputs: xInputs,
-			YInputs: yInputs,
-			Workers: cfg.Workers,
+			Name:         "skew-join-heavy:" + key,
+			Schema:       plan.HeavySchemas[key],
+			XInputs:      xInputs,
+			YInputs:      yInputs,
+			Workers:      cfg.Workers,
+			MemoryBudget: cfg.MemoryBudget,
+			SpillDir:     cfg.SpillDir,
 			Pair: func(a, b exec.Record, emit func([]byte)) error {
 				emitJoin(cfg, key, xPayloads[a.ID], yPayloads[b.ID], emit)
 				return nil

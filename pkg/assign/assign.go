@@ -37,6 +37,14 @@ type request struct {
 	workers int
 	noAudit bool
 
+	// Streaming surface (see Source, Each, Collect, MemoryBudget, SpillDir).
+	src       RecordSource
+	srcSizes  []Size
+	each      func(rec []byte) error
+	collect   *[][]byte
+	memBudget int64
+	spillDir  string
+
 	// Session-only options (see session.go).
 	migrationBudget  Size
 	rebuildThreshold float64
@@ -92,6 +100,51 @@ func XYInputs(x, y [][]byte) Option {
 		r.setProblem(ProblemX2Y)
 		r.xData, r.yData, r.hasData = x, y, true
 	}
+}
+
+// Source describes a concrete all-to-all instance as a record stream plus
+// its declared sizes: record i of the stream is input i and must be exactly
+// sizes[i] bytes (the planner shards by declared size, so a mismatch fails
+// the run). Unlike Inputs, the records are pulled through the pipeline one
+// at a time and never materialized as a whole — combined with MemoryBudget
+// this executes instances far larger than memory. Streaming input is
+// A2A-only.
+func Source(src RecordSource, sizes []Size) Option {
+	return func(r *request) {
+		r.setProblem(ProblemA2A)
+		r.src, r.srcSizes = src, sizes
+	}
+}
+
+// Each streams Execute's output: fn is called once per emitted record as
+// reduce partitions complete, instead of materializing Execution.Output.
+// Records of one partition arrive in deterministic order; partitions
+// interleave. An error from fn fails the run.
+func Each(fn func(rec []byte) error) Option {
+	return func(r *request) { r.each = fn }
+}
+
+// Collect appends Execute's output records to *dst as they are produced —
+// the streaming counterpart of reading Execution.Output, composable with
+// Each and ExecuteStream.
+func Collect(dst *[][]byte) Option {
+	return func(r *request) { r.collect = dst }
+}
+
+// MemoryBudget bounds the in-memory shuffle bytes of Execute's pipeline.
+// Partitions over budget spill sorted run files to the spill directory and
+// merge them back at reduce time; output is unchanged. Spill volume is
+// reported in Execution.Spill* and the pland_exec_spill_* metrics. Zero (the
+// default) means unbounded.
+func MemoryBudget(bytes int64) Option {
+	return func(r *request) { r.memBudget = bytes }
+}
+
+// SpillDir sets where over-budget partitions spill their run files; ""
+// (the default) uses the OS temp dir. Each run keeps its files in a private
+// mr-spill-* subdirectory, removed when the run ends.
+func SpillDir(dir string) Option {
+	return func(r *request) { r.spillDir = dir }
 }
 
 // Capacity sets the reducer capacity q. It is required and must be positive.
@@ -197,6 +250,9 @@ func build(opts []Option) (*request, error) {
 	if !r.problemSet {
 		return nil, ErrNoInstance
 	}
+	if r.src != nil && r.hasData {
+		return nil, errors.New("assign: Source and Inputs are mutually exclusive")
+	}
 	if r.capacity <= 0 {
 		return nil, fmt.Errorf("assign: capacity must be positive, got %d (use Capacity)", r.capacity)
 	}
@@ -234,7 +290,11 @@ func (r *request) plannerRequest() (planner.Request, error) {
 	var err error
 	switch r.problem {
 	case ProblemA2A:
-		if r.hasData {
+		if r.src != nil {
+			if req.Set, err = NewInputSet(r.srcSizes); err != nil {
+				err = fmt.Errorf("assign: source sizes: %w", err)
+			}
+		} else if r.hasData {
 			req.Set, err = sizesOf("inputs", r.data)
 		} else if req.Set, err = NewInputSet(r.sizes); err != nil {
 			err = fmt.Errorf("assign: sizes: %w", err)

@@ -27,6 +27,41 @@
 //	        return nil
 //	    }))
 //
+// # Streaming execution
+//
+// Execute also has a fully streaming form. The Source option feeds input
+// records from a RecordSource one at a time (sizes declared up front, so the
+// plan is unchanged), Each streams every output record to a callback as it is
+// produced, and Collect appends outputs to a caller-owned slice; with Source
+// or Each the execution never materializes its input or output:
+//
+//	ex, err := assign.Execute(ctx,
+//	    assign.Source(src, sizes),          // records pulled on demand
+//	    assign.Capacity(1<<20),
+//	    assign.MemoryBudget(64<<20),        // spill past 64 MiB of shuffle
+//	    assign.Pair(comparePair),
+//	    assign.Each(func(rec []byte) error { return out.Write(rec) }))
+//
+// MemoryBudget bounds the bytes of shuffled data held in memory: over-budget
+// reduce partitions spill sorted run files to a temp directory (SpillDir)
+// and merge them back at reduce time, so results are identical to an
+// unbounded run; the Execution reports SpillRuns, SpillPartitions, and
+// SpillBytes. ExecuteStream is the pull-side equivalent — it returns a
+// StreamExecution whose Next yields output records with backpressure and
+// whose Close cancels the run mid-pipeline:
+//
+//	st, err := assign.ExecuteStream(ctx, opts...)
+//	for {
+//	    rec, err := st.Next()
+//	    if err == io.EOF { break }
+//	    ...
+//	}
+//	ex, err := st.Execution() // counters, audit, spill figures
+//
+// Contexts are honored mid-pipeline: cancelling the ctx given to Execute or
+// ExecuteStream stops the map, shuffle, and reduce stages promptly and
+// removes any spill files.
+//
 // Package-level Plan and Execute share one process-wide planner, so
 // isomorphic instances across callers hit a single cache; NewPlanner builds
 // an isolated planner when that sharing is unwanted.
@@ -52,9 +87,12 @@
 //
 // Everything exported by pkg/assign and pkg/assign/plandclient is the
 // system's stable surface: the option constructors, the Result, Execution,
-// Session, and Stats shapes, and the re-exported core vocabulary (Size,
-// Problem, MappingSchema, Reducer, Cost, InputSet, and the Err* values).
-// These only change compatibly.
+// StreamExecution, Session, and Stats shapes, and the re-exported core
+// vocabulary (Size, Problem, MappingSchema, Reducer, Cost, InputSet,
+// Record, RecordSource, and the Err* values). These only change compatibly.
+// In particular, the slice-based Inputs/Output path is an adapter over the
+// same streaming engine as Source/Each — switching between them never
+// changes results, counters, or audit verdicts, only what is materialized.
 //
 // Packages under internal/ — the solver implementations, the execution
 // engine, the planner cache — carry no compatibility promise at all: they

@@ -1,0 +1,385 @@
+package assign_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/pkg/assign"
+)
+
+// streamPayloads builds n payloads of varied sizes.
+func streamPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = bytes.Repeat([]byte{byte('a' + i%26)}, 8+i%13)
+	}
+	return out
+}
+
+func payloadSizes(payloads [][]byte) []assign.Size {
+	sizes := make([]assign.Size, len(payloads))
+	for i, p := range payloads {
+		sizes[i] = assign.Size(len(p))
+	}
+	return sizes
+}
+
+func pairIDRecords(a, b assign.Record, emit func([]byte)) error {
+	emit([]byte(fmt.Sprintf("%d,%d", a.ID, b.ID)))
+	return nil
+}
+
+// TestExecuteSourceEachMatchesMaterialized runs the same instance through
+// Inputs/Output and Source/Each and asserts they agree.
+func TestExecuteSourceEachMatchesMaterialized(t *testing.T) {
+	ctx := context.Background()
+	payloads := streamPayloads(20)
+
+	want, err := assign.Execute(ctx,
+		assign.Inputs(payloads),
+		assign.Capacity(80),
+		assign.Pair(pairIDRecords),
+		assign.Deterministic(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []string
+	got, err := assign.Execute(ctx,
+		assign.Source(assign.NewSliceRecordSource(payloads), payloadSizes(payloads)),
+		assign.Capacity(80),
+		assign.Pair(pairIDRecords),
+		assign.Each(func(rec []byte) error { streamed = append(streamed, string(rec)); return nil }),
+		assign.Deterministic(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Output != nil {
+		t.Fatalf("Each run materialized %d records", len(got.Output))
+	}
+	if !got.Audited {
+		t.Fatal("streamed run was not audited")
+	}
+	if got.PairsProcessed != want.PairsProcessed {
+		t.Fatalf("PairsProcessed = %d, materialized run had %d", got.PairsProcessed, want.PairsProcessed)
+	}
+	wantSet := make([]string, len(want.Output))
+	for i, rec := range want.Output {
+		wantSet[i] = string(rec)
+	}
+	sort.Strings(wantSet)
+	sort.Strings(streamed)
+	if len(streamed) != len(wantSet) {
+		t.Fatalf("streamed %d records, materialized run had %d", len(streamed), len(wantSet))
+	}
+	for i := range wantSet {
+		if streamed[i] != wantSet[i] {
+			t.Fatalf("record %d: %q vs %q", i, streamed[i], wantSet[i])
+		}
+	}
+}
+
+// TestExecuteSpillMatchesUnbounded is the SDK-level spill property test: a
+// tiny MemoryBudget must not change the output, and the audit stays green.
+func TestExecuteSpillMatchesUnbounded(t *testing.T) {
+	ctx := context.Background()
+	payloads := streamPayloads(20)
+	spillDir := t.TempDir()
+
+	want, err := assign.Execute(ctx,
+		assign.Inputs(payloads), assign.Capacity(80), assign.Pair(pairIDRecords), assign.Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := assign.Execute(ctx,
+		assign.Inputs(payloads), assign.Capacity(80), assign.Pair(pairIDRecords), assign.Deterministic(),
+		assign.MemoryBudget(48), assign.SpillDir(spillDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpillRuns == 0 || got.SpillBytes == 0 || got.SpillPartitions == 0 {
+		t.Fatalf("budgeted run did not spill: runs=%d partitions=%d bytes=%d",
+			got.SpillRuns, got.SpillPartitions, got.SpillBytes)
+	}
+	if !got.Audited {
+		t.Fatal("spilled run was not audited")
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Fatalf("spilled run emitted %d records, unbounded %d", len(got.Output), len(want.Output))
+	}
+	for i := range want.Output {
+		if !bytes.Equal(got.Output[i], want.Output[i]) {
+			t.Fatalf("output[%d] = %q, unbounded had %q", i, got.Output[i], want.Output[i])
+		}
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(spillDir, "mr-spill-*")); len(leftovers) != 0 {
+		t.Fatalf("spill directories leaked: %v", leftovers)
+	}
+}
+
+// TestExecuteStreamIterator drives ExecuteStream end to end: iterate to EOF,
+// then read the final Execution.
+func TestExecuteStreamIterator(t *testing.T) {
+	ctx := context.Background()
+	payloads := streamPayloads(16)
+
+	want, err := assign.Execute(ctx,
+		assign.Inputs(payloads), assign.Capacity(80), assign.Pair(pairIDRecords), assign.Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var collected [][]byte
+	st, err := assign.ExecuteStream(ctx,
+		assign.Source(assign.NewSliceRecordSource(payloads), payloadSizes(payloads)),
+		assign.Capacity(80),
+		assign.Pair(pairIDRecords),
+		assign.Collect(&collected),
+		assign.Deterministic(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var got []string
+	for {
+		rec, err := st.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(rec))
+	}
+	ex, err := st.Execution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Audited {
+		t.Fatal("streamed run was not audited")
+	}
+	if int64(len(got)) != want.PairsProcessed || ex.PairsProcessed != want.PairsProcessed {
+		t.Fatalf("iterator yielded %d records (execution %d pairs), want %d",
+			len(got), ex.PairsProcessed, want.PairsProcessed)
+	}
+	// Collect saw the same records the iterator did.
+	if len(collected) != len(got) {
+		t.Fatalf("Collect gathered %d records, iterator yielded %d", len(collected), len(got))
+	}
+	wantSet := make([]string, len(want.Output))
+	for i, rec := range want.Output {
+		wantSet[i] = string(rec)
+	}
+	sort.Strings(wantSet)
+	sort.Strings(got)
+	for i := range wantSet {
+		if got[i] != wantSet[i] {
+			t.Fatalf("record %d: %q vs %q", i, got[i], wantSet[i])
+		}
+	}
+}
+
+// TestExecuteStreamCloseCancelsRun abandons the iterator after one record;
+// Close must unwind the pipeline promptly and clean up spill files.
+func TestExecuteStreamCloseCancelsRun(t *testing.T) {
+	ctx := context.Background()
+	payloads := streamPayloads(24)
+	spillDir := t.TempDir()
+	st, err := assign.ExecuteStream(ctx,
+		assign.Inputs(payloads),
+		assign.Capacity(120),
+		assign.Pair(pairIDRecords),
+		assign.Deterministic(),
+		assign.MemoryBudget(32),
+		assign.SpillDir(spillDir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Next(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		st.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unwind the stream")
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(spillDir, "mr-spill-*")); len(leftovers) != 0 {
+		t.Fatalf("spill directories leaked after Close: %v", leftovers)
+	}
+}
+
+// TestExecuteCancelledContextStopsRun is the SDK-level cancellation fix test:
+// a context cancelled mid-run stops Execute promptly.
+func TestExecuteCancelledContextStopsRun(t *testing.T) {
+	payloads := streamPayloads(32)
+	ctx, cancel := context.WithCancel(context.Background())
+	spillDir := t.TempDir()
+	released := make(chan struct{})
+	i := 0
+	src := assign.RecordSourceFunc(func() ([]byte, error) {
+		if i < len(payloads)/2 {
+			rec := payloads[i]
+			i++
+			return rec, nil
+		}
+		<-released // stalled upstream
+		return nil, io.EOF
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := assign.Execute(ctx,
+			assign.Source(src, payloadSizes(payloads)),
+			assign.Capacity(150),
+			assign.Pair(pairIDRecords),
+			assign.Deterministic(),
+			assign.MemoryBudget(16),
+			assign.SpillDir(spillDir),
+		)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	defer close(released)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Execute returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not stop after cancellation")
+	}
+	if leftovers, _ := filepath.Glob(filepath.Join(spillDir, "mr-spill-*")); len(leftovers) != 0 {
+		t.Fatalf("spill directories leaked after cancellation: %v", leftovers)
+	}
+}
+
+// TestExecuteSourceValidation covers the new option-combination errors.
+func TestExecuteSourceValidation(t *testing.T) {
+	ctx := context.Background()
+	payloads := streamPayloads(4)
+	src := assign.NewSliceRecordSource(payloads)
+
+	// Source plus Inputs conflict.
+	_, err := assign.Execute(ctx,
+		assign.Source(src, payloadSizes(payloads)),
+		assign.Inputs(payloads),
+		assign.Capacity(60),
+		assign.Pair(pairIDRecords),
+	)
+	if err == nil {
+		t.Fatal("Source+Inputs did not fail")
+	}
+
+	// Plan over a Source instance works (sizes only).
+	res, err := assign.Plan(ctx,
+		assign.Source(src, payloadSizes(payloads)),
+		assign.Capacity(60),
+		assign.Deterministic(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema == nil {
+		t.Fatal("Plan over Source returned no schema")
+	}
+}
+
+// TestExecuteMillionPairStreamSpills is the headline acceptance run: a
+// similarity join whose pipeline streams over a million candidate pairs
+// end-to-end through the Source/Each surface under a memory budget far below
+// the shuffle volume, so spilling is forced. Output equality between the
+// spilling and unbounded paths is asserted on a downsampled instance by
+// TestExecuteSpillMatchesUnbounded; here we assert completion, scale, spill
+// activity, audit, and spill-file cleanup.
+func TestExecuteMillionPairStreamSpills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-pair join skipped in -short mode")
+	}
+	const (
+		numDocs = 1500
+		recSize = 16
+	)
+	sizes := make([]assign.Size, numDocs)
+	for i := range sizes {
+		sizes[i] = recSize
+	}
+	next := 0
+	src := assign.RecordSourceFunc(func() ([]byte, error) {
+		if next >= numDocs {
+			return nil, io.EOF
+		}
+		rec := make([]byte, recSize)
+		for j := range rec {
+			rec[j] = byte((next*31 + j*7) % 251)
+		}
+		next++
+		return rec, nil
+	})
+	spillDir := t.TempDir()
+	var similar int64
+	ex, err := assign.Execute(context.Background(),
+		assign.Named("million-pair-stream"),
+		assign.Capacity(100*recSize),
+		assign.Source(src, sizes),
+		assign.MemoryBudget(32<<10), // ~1.3 MB of framed shuffle: forces spills
+		assign.SpillDir(spillDir),
+		assign.Pair(func(x, y assign.Record, emit func([]byte)) error {
+			match := 0
+			for k := range x.Data {
+				if x.Data[k] == y.Data[k] {
+					match++
+				}
+			}
+			if match >= recSize-1 {
+				emit([]byte{byte(x.ID >> 8), byte(x.ID), byte(y.ID >> 8), byte(y.ID)})
+			}
+			return nil
+		}),
+		assign.Each(func(rec []byte) error { similar++; return nil }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantPairs = int64(numDocs) * (numDocs - 1) / 2
+	if wantPairs < 1_000_000 {
+		t.Fatalf("instance too small: %d pairs", wantPairs)
+	}
+	if ex.PairsProcessed != wantPairs {
+		t.Fatalf("processed %d pairs, want %d", ex.PairsProcessed, wantPairs)
+	}
+	if ex.SpillRuns == 0 || ex.SpillPartitions == 0 || ex.SpillBytes == 0 {
+		t.Fatalf("budget did not force spilling: runs=%d partitions=%d bytes=%d",
+			ex.SpillRuns, ex.SpillPartitions, ex.SpillBytes)
+	}
+	if !ex.Audited {
+		t.Fatal("execution was not audited")
+	}
+	if ex.Output != nil {
+		t.Fatal("streamed execution must not materialize Output")
+	}
+	left, err := filepath.Glob(filepath.Join(spillDir, "mr-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spill directories left behind: %v", left)
+	}
+	t.Logf("pairs=%d similar=%d spill_runs=%d spill_bytes=%d elapsed=%s",
+		ex.PairsProcessed, similar, ex.SpillRuns, ex.SpillBytes, ex.Elapsed)
+}

@@ -3,6 +3,7 @@ package assign
 import (
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/mr"
 )
 
 // The core vocabulary of the system, re-exported so SDK callers never import
@@ -28,6 +29,12 @@ type (
 	// PairFunc is the per-pair user logic of Execute. It is invoked exactly
 	// once per required pair at the pair's owning reducer.
 	PairFunc = exec.PairFunc
+	// RecordSource streams input records one at a time (Next returns io.EOF
+	// after the last record), so an execution never materializes its whole
+	// input. Use with the Source option.
+	RecordSource = mr.Source
+	// RecordSourceFunc adapts a function to RecordSource.
+	RecordSourceFunc = mr.SourceFunc
 )
 
 // Problem values.
@@ -54,6 +61,10 @@ var (
 	// instance.
 	ErrUnknownInput = core.ErrUnknownInput
 )
+
+// NewSliceRecordSource returns a RecordSource over in-memory records — the
+// adapter between slice-shaped data and the streaming Source option.
+func NewSliceRecordSource(recs [][]byte) RecordSource { return mr.NewSliceSource(recs) }
 
 // NewInputSet builds an immutable input set from sizes. Every size must be
 // positive.

@@ -28,8 +28,11 @@ fail() {
 go build -o "$BIN" ./cmd/pland
 
 # -trace-sample 1 keeps every trace so the flight-recorder assertions below
-# are deterministic.
-"$BIN" -addr "$ADDR" -log-format json -trace-sample 1 >"$LOG" 2>&1 &
+# are deterministic. TMPDIR confines the execution engine's spill-run
+# directories to $SPILL so the cleanup assertion below can see leftovers.
+SPILL="$WORK/spill"
+mkdir -p "$SPILL"
+TMPDIR="$SPILL" "$BIN" -addr "$ADDR" -log-format json -trace-sample 1 >"$LOG" 2>&1 &
 PLAND_PID=$!
 
 for i in $(seq 1 50); do
@@ -53,6 +56,21 @@ grep -q '"schema"' "$WORK/plan.json" || fail "plan response has no schema"
 curl -fsS "$BASE/v1/execute" \
   -d '{"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d"]}' |
   grep -q '"audited":true' || fail "execute was not audited"
+
+# Streamed execute: a memory budget far below the shuffle volume forces the
+# pipelined engine to spill sorted runs to disk, merge them back at reduce
+# time, and report the realized spill volume — still audited, same output
+# contract.
+curl -fsS -o "$WORK/exec-stream.json" "$BASE/v1/execute" \
+  -d '{"problem":"A2A","capacity":10,"inputs":["aaa","bbb","cc","d","ee","fff"],"memory_budget":16}'
+grep -q '"audited":true' "$WORK/exec-stream.json" || fail "spilling execute was not audited"
+grep -q '"spill_runs":' "$WORK/exec-stream.json" || fail "memory_budget=16 execute reported no spill_runs"
+grep -q '"spill_bytes":' "$WORK/exec-stream.json" || fail "spilling execute reported no spill_bytes"
+# Spill directories are per-run temp dirs and must be gone once the response
+# is out.
+if compgen -G "$SPILL/mr-spill-*" >/dev/null; then
+  fail "spill temp dirs left behind: $(ls "$SPILL")"
+fi
 
 # Async job round trip: submit, poll to succeeded.
 job=$(curl -fsS "$BASE/v2/jobs" \
@@ -95,6 +113,10 @@ assert_nonzero 'pland_jobs_finished_total{state="succeeded"}'
 assert_nonzero 'pland_jobs_run_seconds_count'
 assert_nonzero 'pland_exec_runs_total{outcome="ok"}'
 assert_nonzero 'pland_exec_pairs_total'
+assert_nonzero 'pland_exec_spill_runs_total'
+assert_nonzero 'pland_exec_spill_bytes_total'
+assert_nonzero 'pland_exec_spill_partitions_total'
+grep -q '^pland_exec_pipeline_depth ' "$WORK/metrics.txt" || fail "no pland_exec_pipeline_depth gauge"
 assert_nonzero 'pland_stream_deltas_total'
 grep -q '^pland_stream_sessions ' "$WORK/metrics.txt" || fail "no pland_stream_sessions gauge"
 
